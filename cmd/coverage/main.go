@@ -1,0 +1,57 @@
+// Command coverage computes Zitzler's set coverage metric between two
+// result files written by cmd/tsmo -json.
+//
+//	coverage -a async.json -b sequential.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/resultio"
+)
+
+func main() {
+	var (
+		aPath = flag.String("a", "", "first result file")
+		bPath = flag.String("b", "", "second result file")
+		all   = flag.Bool("all", false, "include infeasible solutions")
+	)
+	flag.Parse()
+
+	if err := run(*aPath, *bPath, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(aPath, bPath string, all bool) error {
+	if aPath == "" || bPath == "" {
+		return fmt.Errorf("both -a and -b are required")
+	}
+	load := func(path string) (*resultio.FrontFile, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return resultio.Read(f)
+	}
+	fa, err := load(aPath)
+	if err != nil {
+		return err
+	}
+	fb, err := load(bPath)
+	if err != nil {
+		return err
+	}
+	oa := fa.Objectives(!all)
+	ob := fb.Objectives(!all)
+	fmt.Printf("A: %s (%s, P=%d), %d solutions\n", aPath, fa.Algorithm, fa.Processors, len(oa))
+	fmt.Printf("B: %s (%s, P=%d), %d solutions\n", bPath, fb.Algorithm, fb.Processors, len(ob))
+	fmt.Printf("C(A,B) = %.2f%%  (share of B weakly dominated by A)\n", metrics.Coverage(oa, ob)*100)
+	fmt.Printf("C(B,A) = %.2f%%  (share of A weakly dominated by B)\n", metrics.Coverage(ob, oa)*100)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/resultio"
+)
+
+func writeFront(t *testing.T, path string, f *resultio.FrontFile) {
+	t.Helper()
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	if err := resultio.Write(fh, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageRun(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeFront(t, a, &resultio.FrontFile{
+		Instance: "x", Algorithm: "sequential",
+		Solutions: []resultio.SolutionRecord{{Distance: 10, Vehicles: 2}},
+	})
+	writeFront(t, b, &resultio.FrontFile{
+		Instance: "x", Algorithm: "asynchronous",
+		Solutions: []resultio.SolutionRecord{{Distance: 12, Vehicles: 3}},
+	})
+	if err := run(a, b, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageErrors(t *testing.T) {
+	if err := run("", "", false); err == nil {
+		t.Error("missing paths accepted")
+	}
+	if err := run("/no/such/a.json", "/no/such/b.json", false); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's evaluation: Tables I–IV and
+// the Figure 1 trajectory.
+//
+//	experiments -table I -scale quick
+//	experiments -table all -scale medium -md results.md
+//	experiments -figure1 -o trajectory.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", `table to reproduce: I, II, III, IV or "all"`)
+		scale    = flag.String("scale", "quick", "experiment scale: quick, medium or paper")
+		seed     = flag.Uint64("seed", 2007, "experiment seed")
+		mdOut    = flag.String("md", "", "append markdown tables to this file")
+		figure1  = flag.Bool("figure1", false, "generate the Figure 1 trajectory instead of tables")
+		figN     = flag.Int("fig-n", 100, "Figure 1 instance size")
+		figP     = flag.Int("fig-procs", 3, "Figure 1 processor count")
+		figE     = flag.Int("fig-evals", 5000, "Figure 1 evaluation budget")
+		out      = flag.String("o", "figure1.csv", "Figure 1 CSV output path")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		combined = flag.Bool("combined", false, "also run the future-work combined variant (P >= 4 blocks)")
+		extra    = flag.String("extra", "", `extra experiment instead of the tables: "equal-time" (the paper's §IV remark) or "operators" (neighborhood ablation)`)
+	)
+	flag.Parse()
+
+	if *extra != "" {
+		if err := runExtra(*extra, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*table, *scale, *seed, *mdOut, *figure1, *figN, *figP, *figE, *out, *quiet, *combined); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExtra(kind string, seed uint64) error {
+	switch kind {
+	case "equal-time":
+		res, err := exp.RunEqualTime(400, 600, []int{3, 6, 12}, 5, seed)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
+	case "operators":
+		res, err := exp.RunOperatorAblation(60, 6000, 3, seed)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
+	}
+	return fmt.Errorf("unknown extra experiment %q", kind)
+}
+
+func run(table, scaleName string, seed uint64, mdOut string, figure1 bool, figN, figP, figE int, out string, quiet, combined bool) error {
+	if figure1 {
+		traj, err := exp.RunFigure1(figN, figP, figE, seed)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := traj.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("figure 1 trajectory: %d points written to %s\n", len(traj.Points), out)
+		return nil
+	}
+
+	scale, err := exp.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	scale.IncludeCombined = combined
+	var specs []exp.TableSpec
+	if table == "all" {
+		specs = exp.Tables()
+	} else {
+		spec, err := exp.TableByID(table)
+		if err != nil {
+			return err
+		}
+		specs = []exp.TableSpec{spec}
+	}
+
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var md *os.File
+	if mdOut != "" {
+		md, err = os.OpenFile(mdOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer md.Close()
+	}
+
+	for _, spec := range specs {
+		res, err := exp.RunTable(spec, scale, seed, logf)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if md != nil {
+			if err := res.RenderMarkdown(md); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

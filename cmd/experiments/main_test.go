@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure1Mode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fig.csv")
+	if err := run("all", "quick", 3, "", true, 30, 3, 300, out, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTableQuick(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "res.md")
+	if err := run("I", "quick", 3, md, false, 0, 0, 0, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "### Table I") {
+		t.Error("markdown output missing table header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("V", "quick", 1, "", false, 0, 0, 0, "", true, false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run("I", "galactic", 1, "", false, 0, 0, 0, "", true, false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := runExtra("nope", 1); err == nil {
+		t.Error("unknown extra experiment accepted")
+	}
+}

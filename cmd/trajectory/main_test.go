@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrajectoryRun(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fig1.csv")
+	if err := run(30, 3, 400, 1, out, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "iteration,born,distance") {
+		t.Errorf("bad header %q", lines[0])
+	}
+}
+
+func TestTrajectoryRunWithPlot(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fig1.csv")
+	if err := run(30, 3, 300, 2, out, true); err != nil {
+		t.Fatal(err)
+	}
+}

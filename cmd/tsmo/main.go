@@ -1,0 +1,154 @@
+// Command tsmo runs one TSMO variant on one CVRPTW instance and prints the
+// resulting non-dominated front.
+//
+// Usage examples:
+//
+//	tsmo -alg asynchronous -procs 6 -class R1 -n 400 -evals 100000
+//	tsmo -alg sequential -instance r101.txt -evals 20000 -json out.json
+//	tsmo -alg collaborative -procs 3 -backend goroutine -class C2 -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/deme"
+	"repro/internal/resultio"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "sequential", "algorithm: sequential, synchronous, asynchronous, collaborative, combined")
+		procs    = flag.Int("procs", 1, "number of processes for the parallel variants")
+		islands  = flag.Int("islands", 0, "islands for the combined variant (0 = sqrt(procs))")
+		class    = flag.String("class", "R1", "generated instance class (R1, C1, RC1, R2, C2, RC2)")
+		n        = flag.Int("n", 100, "generated instance size (customers)")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		instSeed = flag.Uint64("instance-seed", 1, "generated instance seed")
+		instFile = flag.String("instance", "", "Solomon-format instance file (overrides -class/-n)")
+		evals    = flag.Int("evals", 20000, "evaluation budget")
+		nbh      = flag.Int("neighborhood", 200, "neighborhood size")
+		tenure   = flag.Int("tenure", 20, "tabu tenure")
+		archive  = flag.Int("archive", 20, "archive capacity")
+		restart  = flag.Int("restart", 100, "restart after this many stagnant iterations")
+		backend  = flag.String("backend", "sim", "runtime backend: sim (deterministic Origin 3800) or goroutine")
+		jsonOut  = flag.String("json", "", "write the front as JSON to this file")
+		trajOut  = flag.String("trajectory", "", "record the Figure-1 trajectory CSV to this file")
+		all      = flag.Bool("all", false, "print infeasible front members too")
+		routes   = flag.Bool("routes", false, "print the route sheet of the best solution")
+	)
+	flag.Parse()
+
+	if err := run(*algName, *procs, *islands, *class, *n, *seed, *instSeed, *instFile,
+		*evals, *nbh, *tenure, *archive, *restart, *backend, *jsonOut, *trajOut, *all, *routes); err != nil {
+		fmt.Fprintln(os.Stderr, "tsmo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algName string, procs, islands int, class string, n int, seed, instSeed uint64,
+	instFile string, evals, nbh, tenure, archive, restart int, backend, jsonOut, trajOut string, all, routes bool) error {
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		return err
+	}
+
+	var in *vrptw.Instance
+	if instFile != "" {
+		f, err := os.Open(instFile)
+		if err != nil {
+			return err
+		}
+		in, err = vrptw.ParseSolomon(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		cl, err := vrptw.ParseClass(class)
+		if err != nil {
+			return err
+		}
+		in, err = vrptw.Generate(vrptw.GenConfig{Class: cl, N: n, Seed: instSeed})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = evals
+	cfg.NeighborhoodSize = nbh
+	cfg.TabuTenure = tenure
+	cfg.ArchiveSize = archive
+	cfg.RestartIterations = restart
+	cfg.Processors = procs
+	cfg.Islands = islands
+	cfg.Seed = seed
+	cfg.RecordTrajectory = trajOut != ""
+
+	var rt deme.Runtime
+	switch backend {
+	case "sim":
+		rt = deme.NewSim(deme.Origin3800())
+	case "goroutine":
+		rt = deme.NewGoroutine()
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+
+	res, err := core.Run(alg, in, cfg, rt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("instance %s (N=%d, R=%d, capacity %.0f)\n", in.Name, in.N(), in.Vehicles, in.Capacity)
+	fmt.Printf("%s, P=%d: %d evaluations, %d iterations, runtime %.1f s (%s backend)\n",
+		res.Algorithm, res.Processors, res.Evaluations, res.Iterations, res.Elapsed, backend)
+
+	front := res.FeasibleFront()
+	if all {
+		front = res.Front
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Obj.Distance < front[j].Obj.Distance })
+	fmt.Printf("front (%d solutions%s):\n", len(front), map[bool]string{true: "", false: ", feasible only"}[all])
+	fmt.Printf("%12s %10s %12s\n", "distance", "vehicles", "tardiness")
+	for _, s := range front {
+		fmt.Printf("%12.2f %10.0f %12.2f\n", s.Obj.Distance, s.Obj.Vehicles, s.Obj.Tardiness)
+	}
+
+	if routes && len(front) > 0 {
+		fmt.Println()
+		if err := solution.WriteRoutes(os.Stdout, in, front[0]); err != nil {
+			return err
+		}
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := resultio.Write(f, resultio.FromResult(in.Name, res, true)); err != nil {
+			return err
+		}
+		fmt.Printf("front written to %s\n", jsonOut)
+	}
+	if trajOut != "" && res.Trajectory != nil {
+		f, err := os.Create(trajOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Trajectory.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory (%d points) written to %s\n", len(res.Trajectory.Points), trajOut)
+	}
+	return nil
+}

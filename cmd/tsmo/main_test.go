@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/resultio"
+)
+
+func TestRunGeneratedInstance(t *testing.T) {
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "front.json")
+	trajOut := filepath.Join(dir, "traj.csv")
+	err := run("asynchronous", 3, 0, "R1", 40, 1, 1, "",
+		800, 40, 20, 20, 100, "sim", jsonOut, trajOut, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	front, err := resultio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Algorithm != "asynchronous" || len(front.Solutions) == 0 {
+		t.Errorf("unexpected result file: %+v", front)
+	}
+	traj, err := os.ReadFile(trajOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(traj), "iteration,born") {
+		t.Error("trajectory CSV header missing")
+	}
+}
+
+func TestRunInstanceFile(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.txt")
+	text := `T1
+
+VEHICLE
+NUMBER     CAPACITY
+  5         100
+
+CUSTOMER
+CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE   SERVICE TIME
+    0      50         50          0          0       1000         0
+    1      60         50         10          0        900        10
+    2      40         50         10          0        900        10
+    3      50         60         10          0        900        10
+`
+	if err := os.WriteFile(inst, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run("sequential", 1, 0, "", 0, 1, 1, inst,
+		300, 20, 20, 20, 100, "sim", "", "", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]func() error{
+		"bad algorithm": func() error {
+			return run("nope", 1, 0, "R1", 20, 1, 1, "", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+		},
+		"bad class": func() error {
+			return run("sequential", 1, 0, "X9", 20, 1, 1, "", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+		},
+		"bad backend": func() error {
+			return run("sequential", 1, 0, "R1", 20, 1, 1, "", 100, 20, 20, 20, 100, "warp", "", "", false, false)
+		},
+		"missing instance file": func() error {
+			return run("sequential", 1, 0, "", 0, 1, 1, "/no/such/file", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+		},
+	}
+	for name, f := range cases {
+		if f() == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command vrptwgen generates extended-Solomon-style CVRPTW instances in
+// the classic Solomon text format (the stand-in for the Homberger set; see
+// DESIGN.md §2).
+//
+//	vrptwgen -class R1 -n 400 -seed 1 -o R1_400_1.txt
+//	vrptwgen -class C2 -n 600 -count 10 -dir instances/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/vrptw"
+)
+
+func main() {
+	var (
+		class   = flag.String("class", "R1", "instance class (R1, C1, RC1, R2, C2, RC2)")
+		n       = flag.Int("n", 100, "number of customers")
+		seed    = flag.Uint64("seed", 1, "first generator seed")
+		count   = flag.Int("count", 1, "number of instances (seeds seed..seed+count-1)")
+		out     = flag.String("o", "", "output file (single instance; default stdout)")
+		dir     = flag.String("dir", "", "output directory (multiple instances)")
+		density = flag.Float64("density", 1.0, "fraction of customers with restrictive time windows")
+		stats   = flag.Bool("stats", false, "print instance summary statistics instead of the instance")
+	)
+	flag.Parse()
+
+	if err := run(*class, *n, *seed, *count, *out, *dir, *density, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "vrptwgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(class string, n int, seed uint64, count int, out, dir string, density float64, stats bool) error {
+	cl, err := vrptw.ParseClass(class)
+	if err != nil {
+		return err
+	}
+	if count > 1 && dir == "" && !stats {
+		return fmt.Errorf("use -dir when generating multiple instances")
+	}
+	for i := 0; i < count; i++ {
+		in, err := vrptw.Generate(vrptw.GenConfig{
+			Class: cl, N: n, Seed: seed + uint64(i), WindowDensity: density,
+		})
+		if err != nil {
+			return err
+		}
+		if stats {
+			if err := vrptw.Summarize(in).Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		switch {
+		case dir != "":
+			path := filepath.Join(dir, in.Name+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = vrptw.WriteSolomon(f, in)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Println(path)
+		case out != "":
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			err = vrptw.WriteSolomon(f, in)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		default:
+			if err := vrptw.WriteSolomon(os.Stdout, in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vrptw"
+)
+
+func TestGenerateSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r1.txt")
+	if err := run("R1", 30, 1, 1, out, "", 1.0, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := vrptw.ParseSolomon(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 30 {
+		t.Errorf("generated instance has %d customers, want 30", in.N())
+	}
+}
+
+func TestGenerateMultipleToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("C2", 20, 5, 3, "", dir, 0.8, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("generated %d files, want 3", len(entries))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("X", 10, 1, 1, "", "", 1, false); err == nil {
+		t.Error("bad class accepted")
+	}
+	if err := run("R1", 10, 1, 3, "", "", 1, false); err == nil {
+		t.Error("multiple instances without -dir accepted")
+	}
+}
+
+func TestGenerateStats(t *testing.T) {
+	if err := run("R1", 25, 1, 1, "", "", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

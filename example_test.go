@@ -1,0 +1,54 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+)
+
+// ExampleSolve runs the paper's sequential TSMO on a small generated
+// instance and prints the feasible trade-off front.
+func ExampleSolve() {
+	in, err := repro.Generate(repro.GenConfig{Class: repro.R1, N: 50, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = 5000
+	cfg.NeighborhoodSize = 50
+	cfg.Seed = 4
+
+	res, err := repro.Solve(repro.Sequential, in, cfg)
+	if err != nil {
+		panic(err)
+	}
+	front := res.FeasibleFront()
+	sort.Slice(front, func(i, j int) bool { return front[i].Obj.Distance < front[j].Obj.Distance })
+	fmt.Printf("%d feasible solution(s); budget spent: %v\n", len(front), res.Evaluations >= 5000)
+	// Output:
+	// 1 feasible solution(s); budget spent: true
+}
+
+// ExampleCoverage computes Zitzler's C-metric between two fronts.
+func ExampleCoverage() {
+	a := []repro.Objectives{{Distance: 10, Vehicles: 2}, {Distance: 8, Vehicles: 3}}
+	b := []repro.Objectives{{Distance: 11, Vehicles: 2}, {Distance: 7, Vehicles: 3}}
+	fmt.Printf("C(a,b)=%.2f C(b,a)=%.2f\n", repro.Coverage(a, b), repro.Coverage(b, a))
+	// Output:
+	// C(a,b)=0.50 C(b,a)=0.50
+}
+
+// ExampleGenerate shows the instance generator's class conventions.
+func ExampleGenerate() {
+	for _, class := range []repro.Class{repro.R1, repro.C2} {
+		in, err := repro.Generate(repro.GenConfig{Class: class, N: 100, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d customers, capacity %.0f\n", class, in.N(), in.Capacity)
+	}
+	// Output:
+	// R1: 100 customers, capacity 200
+	// C2: 100 customers, capacity 700
+}

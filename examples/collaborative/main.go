@@ -1,0 +1,63 @@
+// Collaborative demonstrates the paper's multisearch variant (§III.E):
+// several TSMO searchers with disturbed parameters run concurrently and
+// send every improving solution to one peer chosen by a rotating
+// communication list. The example contrasts its merged front against a
+// sequential search with the same per-searcher budget, using the set
+// coverage metric the paper reports.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collaborative:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in, err := repro.Generate(repro.GenConfig{Class: repro.RC1, N: 150, Seed: 21})
+	if err != nil {
+		return err
+	}
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = 12000
+	cfg.Seed = 5
+
+	seq, err := repro.Solve(repro.Sequential, in, cfg)
+	if err != nil {
+		return err
+	}
+
+	cfg.Processors = 6
+	col, err := repro.Solve(repro.Collaborative, in, cfg)
+	if err != nil {
+		return err
+	}
+
+	printFront := func(name string, res *repro.Result) {
+		front := res.FeasibleFront()
+		sort.Slice(front, func(i, j int) bool { return front[i].Obj.Distance < front[j].Obj.Distance })
+		fmt.Printf("%s: %d evaluations, %.0f simulated s, %d feasible front members\n",
+			name, res.Evaluations, res.Elapsed, len(front))
+		for _, s := range front {
+			fmt.Printf("    %10.2f distance, %3.0f vehicles\n", s.Obj.Distance, s.Obj.Vehicles)
+		}
+	}
+	printFront("sequential TSMO     ", seq)
+	printFront("collaborative TSMO×6", col)
+
+	a := repro.FrontObjectives(col.Front, true)
+	b := repro.FrontObjectives(seq.Front, true)
+	fmt.Printf("\nset coverage: C(coll, seq) = %.0f%%   C(seq, coll) = %.0f%%\n",
+		repro.Coverage(a, b)*100, repro.Coverage(b, a)*100)
+	fmt.Println("(C(X, Y) = share of Y's solutions weakly dominated by X — higher left")
+	fmt.Println("number means the collaborative front covers the sequential one.)")
+	return nil
+}

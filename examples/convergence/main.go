@@ -1,0 +1,76 @@
+// Convergence plots quality-over-budget curves for the TSMO variants on
+// the simulated machine: the same evaluation budget, sampled every few
+// hundred evaluations, rendered as an ASCII chart. It shows *when* each
+// variant reaches its quality, complementing the paper's end-of-run
+// tables.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "convergence:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in, err := repro.Generate(repro.GenConfig{Class: repro.R1, N: 150, Seed: 4})
+	if err != nil {
+		return err
+	}
+	base := repro.DefaultConfig()
+	base.MaxEvaluations = 20000
+	base.SampleEvery = 400
+	base.Seed = 6
+
+	curve := func(alg repro.Algorithm, procs int, glyph byte, name string) (viz.Series, error) {
+		cfg := base
+		cfg.Processors = procs
+		res, err := repro.Solve(alg, in, cfg)
+		if err != nil {
+			return viz.Series{}, err
+		}
+		s := viz.Series{Name: name, Glyph: glyph}
+		for _, sm := range res.Samples {
+			if math.IsInf(sm.BestDistance, 1) {
+				continue
+			}
+			// X axis: virtual time, so the variants' different speeds
+			// are visible.
+			s.X = append(s.X, sm.Time)
+			s.Y = append(s.Y, sm.BestDistance)
+		}
+		return s, nil
+	}
+
+	seq, err := curve(repro.Sequential, 1, 's', "sequential")
+	if err != nil {
+		return err
+	}
+	asy, err := curve(repro.Asynchronous, 6, 'a', "async P=6")
+	if err != nil {
+		return err
+	}
+	col, err := curve(repro.Collaborative, 6, 'c', "collaborative P=6")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("best feasible distance over virtual time on %s (%d evaluations each searcher)\n\n",
+		in.Name, base.MaxEvaluations)
+	plot := &viz.Scatter{Width: 76, Height: 22, XLabel: "virtual seconds", YLabel: "best feasible distance"}
+	if err := plot.Render(os.Stdout, []viz.Series{seq, asy, col}); err != nil {
+		return err
+	}
+	fmt.Println("\nasync reaches sequential quality in a fraction of the time; collaborative")
+	fmt.Println("takes longer per iteration but ends lower (the paper's quality/runtime trade).")
+	return nil
+}

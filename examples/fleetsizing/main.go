@@ -1,0 +1,75 @@
+// Fleetsizing demonstrates the paper's §II.C argument for the
+// multiobjective formulation: instead of handing a dispatcher one tour
+// plan, the search produces several Pareto-optimal (distance, vehicles)
+// trade-offs, and the dispatcher decides with their own cost structure —
+// here a yearly fixed cost per van against a per-kilometer rate.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+const (
+	vanFixedCost = 110.0 // EUR per van per day (lease, driver, insurance)
+	perKmCost    = 0.55  // EUR per km (fuel, wear)
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsizing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A clustered delivery area with wide time windows: the regime where
+	// distance and fleet size genuinely trade off.
+	in, err := repro.Generate(repro.GenConfig{Class: repro.C2, N: 120, Seed: 11})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("depot with %d customers, up to %d vans of capacity %.0f\n\n",
+		in.N(), in.Vehicles, in.Capacity)
+
+	// The collaborative multisearch is the paper's best variant for
+	// solution quality, especially at finding low-vehicle solutions.
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = 15000
+	cfg.Processors = 4
+	cfg.Seed = 3
+
+	res, err := repro.Solve(repro.Collaborative, in, cfg)
+	if err != nil {
+		return err
+	}
+
+	front := res.FeasibleFront()
+	if len(front) == 0 {
+		return fmt.Errorf("no feasible plan found — increase the budget")
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Obj.Vehicles < front[j].Obj.Vehicles })
+
+	fmt.Println("Pareto-optimal delivery plans (pick one):")
+	fmt.Printf("%8s %12s %14s %14s %14s\n", "vans", "distance", "van cost", "driving cost", "total/day")
+	bestTotal, bestIdx := 0.0, -1
+	for i, s := range front {
+		vans := s.Obj.Vehicles
+		dist := s.Obj.Distance
+		fixed := vans * vanFixedCost
+		driving := dist * perKmCost
+		total := fixed + driving
+		fmt.Printf("%8.0f %12.1f %13.2f€ %13.2f€ %13.2f€\n", vans, dist, fixed, driving, total)
+		if bestIdx < 0 || total < bestTotal {
+			bestTotal, bestIdx = total, i
+		}
+	}
+	fmt.Printf("\nwith a fixed cost of %.0f€/van and %.2f€/km, plan #%d (%.0f vans) is cheapest at %.2f€/day\n",
+		vanFixedCost, perKmCost, bestIdx+1, front[bestIdx].Obj.Vehicles, bestTotal)
+	fmt.Println("a dispatcher with pricier vans or cheaper fuel would pick differently —")
+	fmt.Println("that choice is exactly what the multiobjective front preserves.")
+	return nil
+}

@@ -1,0 +1,106 @@
+// Nsga2compare runs the experiment the paper proposes as future work
+// (§V): the TSMO variants against a well-established multiobjective
+// evolutionary algorithm — NSGA-II — at the same evaluation budget, scored
+// with the set coverage metric.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsga2compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in, err := repro.Generate(repro.GenConfig{Class: repro.R1, N: 100, Seed: 17})
+	if err != nil {
+		return err
+	}
+	const budget = 15000
+
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = budget
+	cfg.Seed = 1
+	seq, err := repro.Solve(repro.Sequential, in, cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Processors = 4
+	col, err := repro.Solve(repro.Collaborative, in, cfg)
+	if err != nil {
+		return err
+	}
+	// NSGA-II and MOTS get the same budget as all collaborative
+	// searchers together, the generous comparison.
+	ev, err := repro.SolveNSGA2(in, repro.NSGA2Config{
+		PopulationSize: 100,
+		MaxEvaluations: col.Evaluations,
+		Seed:           1,
+	})
+	if err != nil {
+		return err
+	}
+	mo, err := repro.SolveMOTS(in, repro.MOTSConfig{
+		Points:         8,
+		MaxEvaluations: col.Evaluations,
+		Seed:           1,
+	})
+	if err != nil {
+		return err
+	}
+
+	seqF := repro.FrontObjectives(seq.Front, true)
+	colF := repro.FrontObjectives(col.Front, true)
+	evF := repro.FrontObjectives(ev.Front, true)
+	moF := repro.FrontObjectives(mo.Front, true)
+
+	best := func(objs []repro.Objectives) (d, v float64) {
+		d, v = -1, -1
+		for _, o := range objs {
+			if d < 0 || o.Distance < d {
+				d = o.Distance
+			}
+			if v < 0 || o.Vehicles < v {
+				v = o.Vehicles
+			}
+		}
+		return d, v
+	}
+	report := func(name string, objs []repro.Objectives, evals int) {
+		d, v := best(objs)
+		fmt.Printf("%-22s %6d evals, %2d feasible front members, best %8.1f distance / %2.0f vehicles\n",
+			name, evals, len(objs), d, v)
+	}
+	report("sequential TSMO", seqF, seq.Evaluations)
+	report("collaborative TSMO x4", colF, col.Evaluations)
+	report("NSGA-II", evF, ev.Evaluations)
+	report("MOTS (Hansen, simpl.)", moF, mo.Evaluations)
+
+	fmt.Println("\nset coverage (row covers column):")
+	names := []string{"seqTSMO", "collTSMO", "NSGA-II", "MOTS"}
+	fronts := [][]repro.Objectives{seqF, colF, evF, moF}
+	fmt.Printf("%10s", "")
+	for _, n := range names {
+		fmt.Printf(" %9s", n)
+	}
+	fmt.Println()
+	for i, a := range fronts {
+		fmt.Printf("%10s", names[i])
+		for j, b := range fronts {
+			if i == j {
+				fmt.Printf(" %9s", "—")
+				continue
+			}
+			fmt.Printf(" %8.0f%%", repro.Coverage(a, b)*100)
+		}
+		fmt.Println()
+	}
+	return nil
+}

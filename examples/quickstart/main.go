@@ -1,0 +1,63 @@
+// Quickstart: generate a 100-customer instance, run the sequential
+// multiobjective Tabu Search, and print the resulting trade-off front and
+// the best solution's routes.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A random-geometry instance with tight time windows, in the style
+	// of Solomon's R1 class.
+	in, err := repro.Generate(repro.GenConfig{Class: repro.R1, N: 100, Seed: 7})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance %s: %d customers, fleet %d x %.0f capacity, horizon %.0f\n\n",
+		in.Name, in.N(), in.Vehicles, in.Capacity, in.Horizon())
+
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = 20000 // 1/5 of the paper's budget: seconds of real time
+	cfg.Seed = 42
+
+	res, err := repro.Solve(repro.Sequential, in, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search finished: %d evaluations in %.0f simulated seconds\n\n",
+		res.Evaluations, res.Elapsed)
+
+	front := res.FeasibleFront()
+	sort.Slice(front, func(i, j int) bool { return front[i].Obj.Distance < front[j].Obj.Distance })
+	fmt.Println("non-dominated feasible solutions:")
+	fmt.Printf("%12s %10s\n", "distance", "vehicles")
+	for _, s := range front {
+		fmt.Printf("%12.2f %10.0f\n", s.Obj.Distance, s.Obj.Vehicles)
+	}
+	if len(front) == 0 {
+		return fmt.Errorf("no feasible solution found — increase the budget")
+	}
+
+	best := front[0]
+	fmt.Printf("\nroutes of the shortest solution (%.2f):\n", best.Obj.Distance)
+	for i, route := range best.Routes {
+		fmt.Printf("  vehicle %2d (%2d stops, load %3.0f): depot", i+1, len(route), best.Load[i])
+		for _, c := range route {
+			fmt.Printf(" -> %d", c)
+		}
+		fmt.Println(" -> depot")
+	}
+	return nil
+}

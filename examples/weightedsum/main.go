@@ -1,0 +1,66 @@
+// Weightedsum runs the comparison behind the paper's §II.C argument: is an
+// unbiased multiobjective search a better use of the evaluation budget
+// than solving the problem repeatedly with a single-criteria weighted sum
+// and varied weights? Both approaches get the same total budget; fronts
+// are scored with the set coverage metric.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "weightedsum:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in, err := repro.Generate(repro.GenConfig{Class: repro.C2, N: 100, Seed: 9})
+	if err != nil {
+		return err
+	}
+	const budget = 30000
+
+	cfg := repro.DefaultConfig()
+	cfg.MaxEvaluations = budget
+	cfg.Seed = 2
+	mo, err := repro.Solve(repro.Sequential, in, cfg)
+	if err != nil {
+		return err
+	}
+
+	ws, err := repro.SolveWeighted(in, repro.WeightedConfig{
+		Weights:        repro.WeightLattice(3), // 10 weight vectors
+		MaxEvaluations: budget,                 // same total budget
+		Seed:           2,
+	})
+	if err != nil {
+		return err
+	}
+
+	moF := repro.FrontObjectives(mo.Front, true)
+	wsF := repro.FrontObjectives(ws.Front, true)
+
+	fmt.Printf("instance %s, budget %d evaluations each\n\n", in.Name, budget)
+	fmt.Printf("multiobjective TSMO:    %2d feasible front members\n", len(moF))
+	for _, o := range moF {
+		fmt.Printf("    %10.2f distance, %3.0f vehicles\n", o.Distance, o.Vehicles)
+	}
+	fmt.Printf("weighted-sum multistart: %2d feasible front members (from %d weight runs)\n",
+		len(wsF), len(ws.PerWeight))
+	for _, o := range wsF {
+		fmt.Printf("    %10.2f distance, %3.0f vehicles\n", o.Distance, o.Vehicles)
+	}
+
+	fmt.Printf("\nset coverage: C(TSMO, weighted) = %.0f%%   C(weighted, TSMO) = %.0f%%\n",
+		repro.Coverage(moF, wsF)*100, repro.Coverage(wsF, moF)*100)
+	fmt.Println("\nthe weighted-sum approach splits the budget across fixed scalarizations,")
+	fmt.Println("most of which converge to the same region; the multiobjective search")
+	fmt.Println("spends the whole budget on one front (the paper's §II.C argument).")
+	return nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/deme"
+)
+
+func TestCollaborativeSharesCounted(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	cfg.Processors = 3
+	cfg.RestartIterations = 10 // end the initial phase quickly
+	res, err := Run(Collaborative, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shares == 0 {
+		t.Error("collaborative run exchanged no solutions")
+	}
+	seq, err := Run(Sequential, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Shares != 0 {
+		t.Errorf("sequential run reports %d shares", seq.Shares)
+	}
+}
+
+func TestShareBroadcastSendsMore(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	cfg.Processors = 4
+	cfg.RestartIterations = 10
+	single, err := Run(Collaborative, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShareBroadcast = true
+	broad, err := Run(Collaborative, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Shares == 0 || broad.Shares == 0 {
+		t.Fatalf("no sharing observed: single=%d broadcast=%d", single.Shares, broad.Shares)
+	}
+	// Broadcast sends P-1 messages per improving solution instead of 1;
+	// trajectories diverge, so compare rates loosely.
+	if broad.Shares <= single.Shares {
+		t.Errorf("broadcast (%d) did not share more than the rotating list (%d)", broad.Shares, single.Shares)
+	}
+}
+
+func TestCombinedMastersShare(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	cfg.Processors = 4
+	cfg.Islands = 2
+	cfg.RestartIterations = 10
+	res, err := Run(Combined, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shares == 0 {
+		t.Error("combined run's masters exchanged no solutions")
+	}
+}
+
+func TestDisableAspirationRuns(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	base, err := Run(Sequential, in, cfg, deme.NewSim(deme.Ideal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableAspiration = true
+	noAsp, err := Run(Sequential, in, cfg, deme.NewSim(deme.Ideal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noAsp.Front) == 0 {
+		t.Fatal("empty front without aspiration")
+	}
+	// The runs should normally diverge (aspiration admits tabu moves).
+	if base.Iterations == noAsp.Iterations && base.BestDistance() == noAsp.BestDistance() {
+		t.Log("note: aspiration made no difference on this seed")
+	}
+}
+
+func TestWaitTimeoutExtremes(t *testing.T) {
+	in := testInstance(t, 40)
+	for _, timeout := range []float64{1e-9, 1e6} {
+		cfg := smallConfig()
+		cfg.Processors = 3
+		cfg.WaitTimeout = timeout
+		res, err := Run(Asynchronous, in, cfg, deme.NewSim(deme.Origin3800()))
+		if err != nil {
+			t.Fatalf("timeout %g: %v", timeout, err)
+		}
+		if res.Evaluations < cfg.MaxEvaluations {
+			t.Errorf("timeout %g: run stopped early at %d evaluations", timeout, res.Evaluations)
+		}
+	}
+}
+
+func TestConvergenceSampling(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	cfg.SampleEvery = 500
+	res, err := Run(Sequential, in, cfg, deme.NewSim(deme.Ideal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 3 {
+		t.Fatalf("got %d samples, want >= 3 for 3000 evals at 500 spacing", len(res.Samples))
+	}
+	lastEvals := 0
+	lastBest := res.Samples[0].BestDistance
+	for i, sm := range res.Samples {
+		if sm.Evals <= lastEvals {
+			t.Fatalf("sample %d: evals not increasing (%d -> %d)", i, lastEvals, sm.Evals)
+		}
+		lastEvals = sm.Evals
+		if sm.BestDistance > lastBest+1e-9 {
+			t.Fatalf("sample %d: best distance regressed %g -> %g", i, lastBest, sm.BestDistance)
+		}
+		lastBest = sm.BestDistance
+		if sm.ArchiveSize < 1 {
+			t.Fatalf("sample %d: empty archive", i)
+		}
+	}
+	// Parallel variants sample on the master only.
+	cfg.Processors = 3
+	par, err := Run(Collaborative, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Samples) == 0 {
+		t.Error("collaborative run recorded no samples")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/deme"
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+// asyncMaster runs the asynchronous master–worker variant (§III.D): the
+// master hands chunks to idle workers, computes a chunk of its own, and
+// then — instead of waiting for everyone — consults the decision function
+// of Algorithm 2 to decide when to proceed with whatever part of the
+// neighborhood has been evaluated so far. Late results join a later
+// iteration's candidate set, so the considered set can mix neighbors of
+// several past current solutions (the paper's Figure 1).
+//
+// When peers is non-empty the master additionally behaves like a
+// collaborative searcher toward those processes (the paper's future-work
+// combination): improving solutions are sent to one peer chosen by a
+// rotating communication list, and solutions received from peers are merged
+// into M_nondom.
+func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, workers, peers []int, rec *Trajectory) procOutcome {
+	s := newSearcher(in, cfg, r, 0, 0, 0)
+	s.rec = rec
+	s.sampleOn = rec != nil || len(peers) == 0 || p.ID() == 0
+	s.init(p)
+
+	chunk := s.neighborhood / (len(workers) + 1)
+	if chunk < 1 {
+		chunk = 1
+	}
+	idle := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		idle[w] = true
+	}
+	commList := append([]int(nil), peers...)
+	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
+	initialPhase := true
+	shares := 0
+
+	var pending []cand
+
+	// handle folds one message into the master state.
+	handle := func(m deme.Message) {
+		switch m.Tag {
+		case tagResult:
+			rm := m.Data.(resultMsg)
+			pending = append(pending, rm.cands...)
+			s.evals += len(rm.cands)
+			idle[m.From] = true
+		case tagShare:
+			sol := m.Data.(*solution.Solution)
+			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
+			s.nondom.Add(sol)
+		}
+	}
+
+	for !s.done(p) {
+		// Dispatch new work to every idle worker.
+		for _, w := range workers {
+			if idle[w] {
+				p.Send(w, tagWork, workMsg{cur: s.cur, count: chunk, iter: s.iter}, solBytes(in))
+				idle[w] = false
+			}
+		}
+		// The master's own share of the neighborhood.
+		own := s.generate(p, chunk)
+		if len(own) == 0 {
+			s.evals++
+		}
+		pending = append(pending, own...)
+
+		// Decision function (Algorithm 2): stop waiting when a worker
+		// is idle (c1), a collected candidate dominates the current
+		// solution (c2), we waited too long (c3), or the evaluation
+		// budget is exhausted (c4). The conditions are (re)evaluated
+		// once per poll cycle — the master first collects everything
+		// arriving within one quantum, mirroring the framework's
+		// periodic message polling; this is what lets the bunched
+		// worker replies of one round join the same iteration instead
+		// of straggling into the next.
+		deadline := p.Now() + cfg.WaitTimeout
+		poll := cfg.WaitTimeout / 3
+		collectQuantum := func() {
+			tick := p.Now() + poll
+			for p.Now() < tick {
+				m, ok := p.RecvTimeout(tick - p.Now())
+				if !ok {
+					return
+				}
+				handle(m)
+			}
+		}
+		collectQuantum()
+		for {
+			for {
+				m, ok := p.TryRecv()
+				if !ok {
+					break
+				}
+				handle(m)
+			}
+			c1 := false
+			for _, w := range workers {
+				if idle[w] {
+					c1 = true
+					break
+				}
+			}
+			c2 := false
+			for i := range pending {
+				if pending[i].sol.Obj.Dominates(s.cur.Obj) {
+					c2 = true
+					break
+				}
+			}
+			c4 := s.done(p)
+			if c1 || c2 || c4 {
+				break
+			}
+			if deadline-p.Now() <= 0 {
+				break // c3: waited too long
+			}
+			collectQuantum()
+		}
+
+		improved := s.step(p, pending)
+		pending = pending[:0]
+
+		if initialPhase && s.noImprovement {
+			initialPhase = false
+		}
+		if len(commList) > 0 && !initialPhase && improved {
+			shares += sendShare(p, in, cfg, s.cur, &commList)
+		}
+	}
+	for _, w := range workers {
+		p.Send(w, tagStop, nil, 0)
+	}
+	return s.outcome(shares)
+}

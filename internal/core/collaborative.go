@@ -1,0 +1,88 @@
+package core
+
+import (
+	"repro/internal/deme"
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+// collaborativeBody runs one process of the multisearch variant (§III.E):
+// a full sequential TSMO whose parameters — except on process 0 — are
+// disturbed by N(0, param/4). After an initial phase (which ends the first
+// time the archive stagnates for RestartIterations iterations), every
+// improving solution is sent to exactly one other process, chosen by a
+// rotating communication list initialized to a random order; received
+// solutions are merged into the medium-term memory M_nondom.
+func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
+	nbh, tenure, restart := cfg.NeighborhoodSize, cfg.TabuTenure, cfg.RestartIterations
+	if p.ID() > 0 {
+		nbh = perturb(r, nbh)
+		tenure = perturb(r, tenure)
+		restart = perturb(r, restart)
+	}
+	s := newSearcher(in, cfg, r, nbh, tenure, restart)
+	s.rec = rec
+	s.sampleOn = p.ID() == 0
+	s.init(p)
+
+	commList := make([]int, 0, p.P()-1)
+	for id := 0; id < p.P(); id++ {
+		if id != p.ID() {
+			commList = append(commList, id)
+		}
+	}
+	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
+	initialPhase := true
+	shares := 0
+
+	for !s.done(p) {
+		// Fold in solutions shared by the other searchers.
+		for {
+			m, ok := p.TryRecv()
+			if !ok {
+				break
+			}
+			if m.Tag != tagShare {
+				continue
+			}
+			sol := m.Data.(*solution.Solution)
+			// Deserializing a foreign solution and checking it
+			// against the 50-entry M_nondom costs several times a
+			// plain neighbor update.
+			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
+			s.nondom.Add(sol)
+		}
+
+		cands := s.generate(p, s.neighborhood)
+		if len(cands) == 0 {
+			s.evals++
+		}
+		improved := s.step(p, cands)
+
+		if initialPhase && s.noImprovement {
+			initialPhase = false
+		}
+		if !initialPhase && improved && len(commList) > 0 {
+			shares += sendShare(p, in, cfg, s.cur, &commList)
+		}
+	}
+	return s.outcome(shares)
+}
+
+// sendShare delivers an improving solution to the peers: to the head of
+// the rotating communication list (the paper's scheme), or to everyone
+// when the ShareBroadcast ablation is on. It returns the number of
+// messages sent.
+func sendShare(p deme.Proc, in *vrptw.Instance, cfg *Config, sol *solution.Solution, commList *[]int) int {
+	if cfg.ShareBroadcast {
+		for _, peer := range *commList {
+			p.Send(peer, tagShare, sol, solBytes(in))
+		}
+		return len(*commList)
+	}
+	peer := (*commList)[0]
+	*commList = append((*commList)[1:], peer)
+	p.Send(peer, tagShare, sol, solBytes(in))
+	return 1
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's contribution: the multiobjective
+// Tabu Search TSMO for the soft-time-window CVRPTW (Algorithm 1) and its
+// three parallelizations — synchronous master–worker, asynchronous
+// master–worker with the decision function of Algorithm 2, and
+// collaborative multisearch — plus the combined variant sketched as future
+// work. All variants are written against the deme.Proc interface and run
+// on either the deterministic machine simulator (deme.NewSim) or real
+// goroutines (deme.NewGoroutine).
+//
+// The usual entry point is Run:
+//
+//	in, _ := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
+//	cfg := core.DefaultConfig()
+//	cfg.Processors = 6
+//	res, err := core.Run(core.Asynchronous, in, cfg, deme.NewSim(deme.Origin3800()))
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deme"
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+// shareHandlingFactor scales OverheadPerNeighbor for incorporating a
+// solution shared by another searcher (deserialization plus dominance
+// checks against the medium-term memory).
+const shareHandlingFactor = 8
+
+// Message tags used between processes.
+const (
+	tagWork   = iota + 1 // master -> worker: workMsg
+	tagResult            // worker -> master: resultMsg
+	tagStop              // master -> worker: terminate
+	tagShare             // searcher -> searcher: *solution.Solution
+)
+
+// workMsg carries one chunk of neighborhood work.
+type workMsg struct {
+	cur   *solution.Solution
+	count int
+	iter  int
+}
+
+// resultMsg carries a chunk of evaluated candidates back to the master.
+type resultMsg struct {
+	cands []cand
+}
+
+// Run executes the selected TSMO variant on the instance with the given
+// configuration and runtime backend, and returns the merged result.
+func Run(alg Algorithm, in *vrptw.Instance, cfg Config, rt deme.Runtime) (*Result, error) {
+	if err := cfg.validate(in, alg); err != nil {
+		return nil, err
+	}
+	// Pre-derive one deterministic RNG seed per process so results do
+	// not depend on scheduling.
+	base := rng.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Processors)
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+
+	outcomes := make([]procOutcome, cfg.Processors)
+	trajs := make([]*Trajectory, cfg.Processors)
+
+	body := func(p deme.Proc) {
+		id := p.ID()
+		r := rng.New(seeds[id])
+		var rec *Trajectory
+		if cfg.RecordTrajectory && id == 0 {
+			rec = &Trajectory{Cap: 4 * cfg.MaxEvaluations}
+			trajs[id] = rec
+		}
+		switch alg {
+		case Sequential:
+			outcomes[id] = sequentialBody(p, in, &cfg, r, rec)
+		case Synchronous:
+			if id == 0 {
+				outcomes[id] = syncMaster(p, in, &cfg, r, rec)
+			} else {
+				workerLoop(p, in, &cfg, r, 0)
+			}
+		case Asynchronous:
+			if id == 0 {
+				workers := procRange(1, cfg.Processors)
+				outcomes[id] = asyncMaster(p, in, &cfg, r, workers, nil, rec)
+			} else {
+				workerLoop(p, in, &cfg, r, 0)
+			}
+		case Collaborative:
+			outcomes[id] = collaborativeBody(p, in, &cfg, r, rec)
+		case Combined:
+			masters, island := combinedLayout(cfg.Processors, cfg.Islands)
+			m := island[id]
+			if masters[m] == id {
+				workers := islandWorkers(masters[m], masters, island, cfg.Processors)
+				peers := otherMasters(masters, id)
+				outcomes[id] = asyncMaster(p, in, &cfg, r, workers, peers, rec)
+			} else {
+				workerLoop(p, in, &cfg, r, masters[m])
+			}
+		}
+	}
+	if err := rt.Run(cfg.Processors, body); err != nil {
+		return nil, fmt.Errorf("core: %v run failed: %w", alg, err)
+	}
+
+	fronts := make([][]*solution.Solution, len(outcomes))
+	for i := range outcomes {
+		fronts[i] = outcomes[i].front
+	}
+	res := &Result{
+		Algorithm:  alg,
+		Processors: cfg.Processors,
+		Elapsed:    rt.Elapsed(),
+		Front:      mergeFronts(fronts),
+		Trajectory: trajs[0],
+		Samples:    outcomes[0].samples,
+	}
+	for i := range outcomes {
+		res.Evaluations += outcomes[i].evals
+		res.Iterations += outcomes[i].iters
+		res.Shares += outcomes[i].shares
+	}
+	return res, nil
+}
+
+// procRange returns the ids [lo, hi).
+func procRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// combinedLayout partitions P processes into islands. It returns the
+// master id of every island and a map from process id to island index.
+// Islands are contiguous blocks; the last island absorbs the remainder.
+func combinedLayout(p, islands int) (masters []int, island []int) {
+	size := p / islands
+	masters = make([]int, islands)
+	island = make([]int, p)
+	for k := 0; k < islands; k++ {
+		masters[k] = k * size
+	}
+	for id := 0; id < p; id++ {
+		k := id / size
+		if k >= islands {
+			k = islands - 1
+		}
+		island[id] = k
+	}
+	return masters, island
+}
+
+// islandWorkers lists the non-master members of the master's island.
+func islandWorkers(master int, masters, island []int, p int) []int {
+	var out []int
+	for id := 0; id < p; id++ {
+		if id != master && island[id] == island[master] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// otherMasters lists all masters except self.
+func otherMasters(masters []int, self int) []int {
+	var out []int
+	for _, m := range masters {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}

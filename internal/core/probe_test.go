@@ -1,0 +1,56 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/deme"
+	"repro/internal/vrptw"
+)
+
+// TestProbeRegimes is a manual calibration aid, enabled with
+// REPRO_PROBE=1. It prints virtual runtimes of all variants across
+// processor counts so the machine model can be tuned against the paper's
+// Tables I-IV shapes.
+func TestProbeRegimes(t *testing.T) {
+	if os.Getenv("REPRO_PROBE") == "" {
+		t.Skip("set REPRO_PROBE=1 to run the calibration probe")
+	}
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 10000 // 1/10 of the paper's budget, scales linearly
+	cfg.Seed = 3
+
+	run := func(alg Algorithm, procs int, mseed uint64) float64 {
+		c := cfg
+		c.Processors = procs
+		m := deme.Origin3800()
+		m.Seed = mseed
+		res, err := Run(alg, in, c, deme.NewSim(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	avg := func(alg Algorithm, procs int) float64 {
+		var s float64
+		const reps = 3
+		for i := uint64(0); i < reps; i++ {
+			s += run(alg, procs, 1000+i)
+		}
+		return s / reps
+	}
+
+	seq := avg(Sequential, 1)
+	t.Logf("sequential: %8.1f", seq)
+	for _, p := range []int{3, 6, 12} {
+		sy := avg(Synchronous, p)
+		as := avg(Asynchronous, p)
+		co := avg(Collaborative, p)
+		t.Logf("P=%2d  sync %8.1f (%+6.1f%%)  async %8.1f (%+6.1f%%)  coll %8.1f (%+6.1f%%)",
+			p, sy, (seq/sy-1)*100, as, (seq/as-1)*100, co, (seq/co-1)*100)
+	}
+}

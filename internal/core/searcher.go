@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/construct"
+	"repro/internal/deme"
+	"repro/internal/operators"
+	"repro/internal/pareto"
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/tabu"
+	"repro/internal/vrptw"
+)
+
+// cand is one evaluated candidate: a neighbor solution tagged with the tabu
+// identity of the move that produced it and the iteration it was born in
+// (for the asynchronous variant and the trajectory of Figure 1).
+type cand struct {
+	sol  *solution.Solution
+	attr tabu.Attribute
+	op   string
+	born int
+}
+
+// searcher bundles the state of the paper's Algorithm 1: the current
+// solution, the three memories (tabu list, M_nondom, M_archive) and the
+// restart logic. The sequential algorithm, the master of both master–worker
+// variants and each collaborative process all drive one searcher.
+type searcher struct {
+	in  *vrptw.Instance
+	cfg *Config
+	gen *operators.Generator
+	r   *rng.Rand
+
+	// Per-searcher (possibly perturbed) parameters.
+	neighborhood int
+	restartIters int
+
+	tl      *tabu.List
+	nondom  *pareto.Archive
+	archive *pareto.Archive
+
+	cur           *solution.Solution
+	iter          int
+	evals         int
+	sinceImprove  int
+	noImprovement bool
+
+	rec        *Trajectory
+	sampleOn   bool
+	samples    []QualitySample
+	lastSample int
+}
+
+// procOutcome is what each algorithm body hands back to Run.
+type procOutcome struct {
+	front   []*solution.Solution
+	evals   int
+	iters   int
+	shares  int
+	samples []QualitySample
+}
+
+// outcome packages the searcher's final state.
+func (s *searcher) outcome(shares int) procOutcome {
+	return procOutcome{
+		front:   s.archive.Snapshot(),
+		evals:   s.evals,
+		iters:   s.iter,
+		shares:  shares,
+		samples: s.samples,
+	}
+}
+
+// maybeSample records a convergence sample when due.
+func (s *searcher) maybeSample(p deme.Proc) {
+	if !s.sampleOn || s.cfg.SampleEvery <= 0 || s.evals-s.lastSample < s.cfg.SampleEvery {
+		return
+	}
+	s.lastSample = s.evals
+	sm := QualitySample{
+		Evals:        s.evals,
+		Time:         p.Now(),
+		ArchiveSize:  s.archive.Len(),
+		BestDistance: math.Inf(1),
+		BestVehicles: math.Inf(1),
+	}
+	for _, sol := range s.archive.Items() {
+		if !sol.Obj.Feasible() {
+			continue
+		}
+		if sol.Obj.Distance < sm.BestDistance {
+			sm.BestDistance = sol.Obj.Distance
+		}
+		if sol.Obj.Vehicles < sm.BestVehicles {
+			sm.BestVehicles = sol.Obj.Vehicles
+		}
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// newSearcher builds a searcher with the given (possibly perturbed)
+// parameters; tenure, neighborhood and restartIters override the config
+// when positive.
+func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, tenure, restartIters int) *searcher {
+	if neighborhood <= 0 {
+		neighborhood = cfg.NeighborhoodSize
+	}
+	if tenure <= 0 {
+		tenure = cfg.TabuTenure
+	}
+	if restartIters <= 0 {
+		restartIters = cfg.RestartIterations
+	}
+	return &searcher{
+		in:           in,
+		cfg:          cfg,
+		gen:          operators.NewGenerator(in, cfg.Operators),
+		r:            r,
+		neighborhood: neighborhood,
+		restartIters: restartIters,
+		tl:           tabu.NewList(tenure),
+		nondom:       pareto.NewArchive(cfg.NondomSize),
+		archive:      pareto.NewArchive(cfg.ArchiveSize),
+	}
+}
+
+// init generates the initial solution with the randomized I1 heuristic,
+// charges its modeled cost, and seeds the memories.
+func (s *searcher) init(p deme.Proc) {
+	s.cur = construct.I1(s.in, construct.RandomParams(s.r))
+	p.Compute(s.cfg.Cost.ConstructPerCustomer * float64(s.in.N()))
+	s.evals++
+	s.archive.Add(s.cur)
+	if s.rec != nil {
+		s.rec.add(0, 0, s.cur.Obj, true)
+	}
+}
+
+// generate draws and evaluates up to n neighbors of the current solution,
+// charging their modeled cost to p.
+func (s *searcher) generate(p deme.Proc, n int) []cand {
+	nbh := s.gen.Neighborhood(s.cur, s.r, n)
+	cands := make([]cand, len(nbh))
+	var cost float64
+	for i, nb := range nbh {
+		cands[i] = cand{sol: nb.Sol, attr: nb.Move.Attribute(), op: nb.Move.Operator(), born: s.iter}
+		cost += s.cfg.Cost.evalCost(s.in, nb.Sol)
+	}
+	p.Compute(cost)
+	s.evals += len(cands)
+	return cands
+}
+
+// step performs the selection and memory-update part of one Algorithm 1
+// iteration on an already-evaluated candidate set (which, for the
+// asynchronous variant, may mix several birth iterations). It returns
+// whether the archive improved this iteration.
+func (s *searcher) step(p deme.Proc, cands []cand) bool {
+	p.Compute(s.cfg.Cost.OverheadPerNeighbor * float64(len(cands)))
+
+	sel := s.selectCand(cands)
+	if s.rec != nil {
+		for i := range cands {
+			s.rec.add(s.iter+1, cands[i].born, cands[i].sol.Obj, false)
+		}
+	}
+	if sel < 0 || s.noImprovement {
+		// Restart from the memories: M_nondom entries are consumed,
+		// archive entries survive.
+		s.restart()
+		s.noImprovement = false
+	} else {
+		s.cur = cands[sel].sol
+		s.tl.Add(cands[sel].attr)
+	}
+	if s.rec != nil {
+		s.rec.add(s.iter+1, s.iter, s.cur.Obj, true)
+	}
+
+	// Update memories: non-dominated neighbors enter M_nondom, the
+	// chosen current solution is offered to the archive.
+	improved := false
+	objs := make([]solution.Objectives, len(cands))
+	for i := range cands {
+		objs[i] = cands[i].sol.Obj
+	}
+	for _, i := range pareto.NondominatedIndices(objs) {
+		s.nondom.Add(cands[i].sol)
+	}
+	if s.archive.Add(s.cur) {
+		improved = true
+	}
+	if improved {
+		s.sinceImprove = 0
+	} else {
+		s.sinceImprove++
+		if s.sinceImprove >= s.restartIters {
+			s.noImprovement = true
+			s.sinceImprove = 0
+		}
+	}
+	s.iter++
+	s.maybeSample(p)
+	return improved
+}
+
+// selectCand picks the next current solution from the candidate set: among
+// the candidates non-dominated within the set and not forbidden by the tabu
+// list (with archive-entry aspiration), it prefers one that dominates the
+// current solution and otherwise draws uniformly. It returns -1 when every
+// candidate is unavailable — the paper's "s not in N" restart trigger.
+func (s *searcher) selectCand(cands []cand) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	objs := make([]solution.Objectives, len(cands))
+	for i := range cands {
+		objs[i] = cands[i].sol.Obj
+	}
+	nd := pareto.NondominatedIndices(objs)
+	allowed := nd[:0]
+	for _, i := range nd {
+		aspires := !s.cfg.DisableAspiration && s.archive.WouldImprove(cands[i].sol)
+		if !s.tl.Contains(cands[i].attr) || aspires {
+			allowed = append(allowed, i)
+		}
+	}
+	if len(allowed) == 0 {
+		return -1
+	}
+	var dominating []int
+	for _, i := range allowed {
+		if cands[i].sol.Obj.Dominates(s.cur.Obj) {
+			dominating = append(dominating, i)
+		}
+	}
+	if len(dominating) > 0 {
+		return dominating[s.r.Intn(len(dominating))]
+	}
+	return allowed[s.r.Intn(len(allowed))]
+}
+
+// done reports whether a budget is exhausted: the evaluation budget, or —
+// when configured — the runtime budget for equal-time comparisons.
+func (s *searcher) done(p deme.Proc) bool {
+	if s.evals >= s.cfg.MaxEvaluations {
+		return true
+	}
+	return s.cfg.MaxSeconds > 0 && p.Now() >= s.cfg.MaxSeconds
+}
+
+// restart replaces the current solution with one drawn from
+// M_nondom ∪ M_archive, consuming M_nondom entries (the paper's ↓↑).
+func (s *searcher) restart() {
+	total := s.nondom.Len() + s.archive.Len()
+	if total == 0 {
+		return // keep the current solution; nothing to restart from
+	}
+	k := s.r.Intn(total)
+	if k < s.nondom.Len() {
+		s.cur = s.nondom.TakeRandom(s.r)
+		return
+	}
+	s.cur = s.archive.Random(s.r)
+}
+
+// mergeFronts collapses per-process archive snapshots into one
+// non-dominated front.
+func mergeFronts(fronts [][]*solution.Solution) []*solution.Solution {
+	var all []*solution.Solution
+	for _, f := range fronts {
+		all = append(all, f...)
+	}
+	objs := make([]solution.Objectives, len(all))
+	for i, s := range all {
+		objs[i] = s.Obj
+	}
+	idx := pareto.NondominatedIndices(objs)
+	// Drop exact objective duplicates to keep the front tidy.
+	seen := make(map[[3]float64]bool, len(idx))
+	var out []*solution.Solution
+	for _, i := range idx {
+		key := all[i].Obj.Values()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// perturb applies the collaborative variant's parameter disturbance: a
+// normal deviate with standard deviation param/4, rounded, clamped to >= 1
+// (§III.E: "disturbed by a random variable derived from a normal
+// distribution with mean 0 and a standard deviation that is the quarter of
+// the parameter").
+func perturb(r *rng.Rand, param int) int {
+	v := param + int(r.NormFloat64()*float64(param)/4+0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

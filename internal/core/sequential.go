@@ -1,0 +1,28 @@
+package core
+
+import (
+	"repro/internal/deme"
+	"repro/internal/rng"
+	"repro/internal/vrptw"
+)
+
+// sequentialBody is the paper's Algorithm 1 on a single process: generate a
+// neighborhood of the current solution, evaluate it, select, restart from
+// the memories when stuck, and update the memories — until the evaluation
+// budget is exhausted.
+func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
+	s := newSearcher(in, cfg, r, 0, 0, 0)
+	s.rec = rec
+	s.sampleOn = true
+	s.init(p)
+	for !s.done(p) {
+		cands := s.generate(p, s.neighborhood)
+		if len(cands) == 0 {
+			// Degenerate instance with no feasible moves: charge the
+			// failed attempt so the budget still runs out.
+			s.evals++
+		}
+		s.step(p, cands)
+	}
+	return s.outcome(0)
+}

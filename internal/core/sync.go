@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/deme"
+	"repro/internal/rng"
+	"repro/internal/vrptw"
+)
+
+// syncMaster runs the synchronous master–worker variant (§III.C): each
+// iteration the master ships the current solution and a chunk size to every
+// worker, computes its own chunk, then blocks until every worker's results
+// are back before selecting — so the search trajectory is exactly the
+// sequential one (given the same random streams) and only the runtime
+// changes.
+func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
+	s := newSearcher(in, cfg, r, 0, 0, 0)
+	s.rec = rec
+	s.sampleOn = true
+	s.init(p)
+	procs := p.P()
+	per := s.neighborhood / procs
+	own := s.neighborhood - per*(procs-1) // master absorbs the remainder
+	for !s.done(p) {
+		for w := 1; w < procs; w++ {
+			p.Send(w, tagWork, workMsg{cur: s.cur, count: per, iter: s.iter}, solBytes(in))
+		}
+		cands := s.generate(p, own)
+		if len(cands) == 0 {
+			s.evals++
+		}
+		for got := 0; got < procs-1; {
+			m, ok := p.Recv()
+			if !ok {
+				break
+			}
+			if m.Tag != tagResult {
+				continue
+			}
+			rm := m.Data.(resultMsg)
+			cands = append(cands, rm.cands...)
+			s.evals += len(rm.cands)
+			got++
+		}
+		s.step(p, cands)
+	}
+	for w := 1; w < procs; w++ {
+		p.Send(w, tagStop, nil, 0)
+	}
+	return s.outcome(0)
+}

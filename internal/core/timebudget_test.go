@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/deme"
+)
+
+func TestTimeBudgetStopsRuns(t *testing.T) {
+	in := testInstance(t, 40)
+	cfg := smallConfig()
+	cfg.MaxEvaluations = 1 << 30 // effectively unbounded
+	cfg.MaxSeconds = 20
+	for _, tc := range []struct {
+		alg   Algorithm
+		procs int
+	}{{Sequential, 1}, {Synchronous, 3}, {Asynchronous, 3}, {Collaborative, 3}} {
+		c := cfg
+		c.Processors = tc.procs
+		res, err := Run(tc.alg, in, c, deme.NewSim(deme.Origin3800()))
+		if err != nil {
+			t.Fatalf("%v: %v", tc.alg, err)
+		}
+		// One iteration may overshoot, but the run must stop within a
+		// small multiple of the budget.
+		if res.Elapsed > 6*cfg.MaxSeconds {
+			t.Errorf("%v: elapsed %.1f far beyond the %g s budget", tc.alg, res.Elapsed, cfg.MaxSeconds)
+		}
+		if len(res.Front) == 0 {
+			t.Errorf("%v: empty front", tc.alg)
+		}
+	}
+}
+
+func TestEqualTimeAsyncDoesMoreEvaluations(t *testing.T) {
+	// The paper's §IV remark: given equal time, the asynchronous TS can
+	// evaluate more solutions than the sequential one.
+	in := testInstance(t, 100)
+	cfg := smallConfig()
+	cfg.MaxEvaluations = 1 << 30
+	cfg.MaxSeconds = 60
+	cfg.NeighborhoodSize = 100
+	seq, err := Run(Sequential, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Processors = 6
+	asy, err := Run(Asynchronous, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asy.Evaluations <= seq.Evaluations {
+		t.Errorf("equal time: async evaluated %d <= sequential %d", asy.Evaluations, seq.Evaluations)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/solution"
+)
+
+// TrajectoryPoint is one solution considered during the search, as plotted
+// in the paper's Figure 1: candidates carry the iteration in which their
+// neighborhood was generated (Born), which for the asynchronous variant can
+// lag the iteration in which they were considered (Iteration). Selected
+// marks the solutions that became the current solution — the circles of
+// Figure 1.
+type TrajectoryPoint struct {
+	Iteration int
+	Born      int
+	Obj       solution.Objectives
+	Selected  bool
+}
+
+// Trajectory accumulates the points the master considered. It is written
+// by a single process only.
+type Trajectory struct {
+	Points []TrajectoryPoint
+	// Cap bounds memory use; once reached, further points are dropped.
+	Cap int
+}
+
+func (t *Trajectory) add(iter, born int, obj solution.Objectives, selected bool) {
+	if t.Cap > 0 && len(t.Points) >= t.Cap {
+		return
+	}
+	t.Points = append(t.Points, TrajectoryPoint{Iteration: iter, Born: born, Obj: obj, Selected: selected})
+}
+
+// WriteCSV emits the trajectory in a plot-friendly CSV form with the
+// header iteration,born,distance,vehicles,tardiness,selected.
+func (t *Trajectory) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "iteration,born,distance,vehicles,tardiness,selected"); err != nil {
+		return err
+	}
+	for _, p := range t.Points {
+		sel := 0
+		if p.Selected {
+			sel = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.0f,%.3f,%d\n",
+			p.Iteration, p.Born, p.Obj.Distance, p.Obj.Vehicles, p.Obj.Tardiness, sel); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/deme"
+	"repro/internal/operators"
+	"repro/internal/rng"
+	"repro/internal/vrptw"
+)
+
+// workerLoop services work requests from a master until it receives a stop
+// message (or the system drains): it generates and evaluates the requested
+// number of neighbors of the received current solution and sends the
+// evaluated chunk back. Both the synchronous and the asynchronous variants
+// use the same worker.
+func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, master int) {
+	gen := operators.NewGenerator(in, cfg.Operators)
+	for {
+		m, ok := p.Recv()
+		if !ok || m.Tag == tagStop {
+			return
+		}
+		if m.Tag != tagWork {
+			continue // stray share/result messages are not for workers
+		}
+		w := m.Data.(workMsg)
+		nbh := gen.Neighborhood(w.cur, r, w.count)
+		cands := make([]cand, len(nbh))
+		var cost float64
+		for i, nb := range nbh {
+			cands[i] = cand{sol: nb.Sol, attr: nb.Move.Attribute(), op: nb.Move.Operator(), born: w.iter}
+			cost += cfg.Cost.evalCost(in, nb.Sol)
+		}
+		p.Compute(cost)
+		p.Send(master, tagResult, resultMsg{cands: cands}, len(cands)*solBytes(in))
+	}
+}

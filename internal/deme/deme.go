@@ -1,0 +1,70 @@
+// Package deme is a small distributed-metaheuristics process runtime in the
+// spirit of the DEME framework the paper's implementation builds on. The
+// parallel Tabu Search variants are written once against the Proc
+// interface — processes that compute, exchange messages and observe time —
+// and can then execute on either of two backends:
+//
+//   - Sim: a deterministic discrete-event simulation of a parallel machine
+//     (virtual clocks, per-message latency and bandwidth, send/receive CPU
+//     overheads, per-processor compute jitter). This reproduces the
+//     paper's timing phenomenology — barrier waits, asynchronous overlap,
+//     master bottlenecks, communication overhead — on any host, including
+//     single-core CI machines, and makes runtime/speedup measurements
+//     reproducible. The Origin3800 preset models the paper's testbed.
+//
+//   - Goroutine: real concurrency on the host using goroutines and
+//     mailboxes, for use on actual multicore hardware. Compute is a no-op
+//     (the surrounding real work takes real time) and Now is the wall
+//     clock.
+//
+// Time is expressed in modeled seconds throughout.
+package deme
+
+// Message is the unit of inter-process communication.
+type Message struct {
+	From  int // sender process ID, filled in by the runtime
+	Tag   int // application-defined message kind
+	Data  any // payload; shared by reference, treat as immutable
+	Bytes int // modeled payload size for bandwidth accounting (0 = negligible)
+}
+
+// Proc is the view a process body has of the runtime. All methods must be
+// called only from the body's own goroutine.
+type Proc interface {
+	// ID returns this process's rank in [0, P).
+	ID() int
+	// P returns the number of processes in the run.
+	P() int
+	// Now returns the process-local time in seconds: virtual time on the
+	// simulator, wall time on the goroutine backend.
+	Now() float64
+	// Compute charges seconds of modeled CPU work to this process. On
+	// the simulator this advances the virtual clock (with jitter); on
+	// the goroutine backend it is a no-op.
+	Compute(seconds float64)
+	// Send delivers an asynchronous message to process `to`. It never
+	// blocks. Sending to self is allowed.
+	Send(to, tag int, data any, bytes int)
+	// TryRecv returns a pending message without blocking; ok is false
+	// when none has arrived yet.
+	TryRecv() (Message, bool)
+	// Recv blocks until a message arrives. ok is false when no message
+	// can ever arrive anymore (all other processes finished, or the
+	// system is deadlocked).
+	Recv() (Message, bool)
+	// RecvTimeout is Recv with a deadline of now+seconds; ok is false on
+	// timeout or global completion.
+	RecvTimeout(seconds float64) (Message, bool)
+}
+
+// Runtime executes a set of process bodies to completion.
+type Runtime interface {
+	// Run starts n processes executing body (distinguished by
+	// Proc.ID()) and blocks until all have returned. It returns the
+	// first panic raised by a body, if any.
+	Run(n int, body func(Proc)) error
+	// Elapsed returns the makespan of the last Run in seconds: the
+	// maximum process clock on the simulator, the wall-clock duration on
+	// the goroutine backend.
+	Elapsed() float64
+}

@@ -1,0 +1,62 @@
+package deme
+
+// Machine parameterizes the simulated parallel computer. All times are in
+// modeled seconds, bandwidth in bytes per modeled second.
+type Machine struct {
+	// SendOverhead is CPU time the sender spends per message
+	// (serialization, queue handling).
+	SendOverhead float64
+	// RecvOverhead is CPU time the receiver spends per delivered
+	// message (deserialization, memory-pool interaction).
+	RecvOverhead float64
+	// Latency is the in-flight delivery delay per message.
+	Latency float64
+	// Bandwidth divides the message's Bytes into extra sender CPU time;
+	// 0 means infinite bandwidth.
+	Bandwidth float64
+	// Jitter is the relative spread of Compute durations: each call is
+	// scaled by a factor uniform in [1-Jitter, 1+Jitter], drawn from a
+	// per-process deterministic stream. It models fine-grained OS noise.
+	Jitter float64
+	// SpikeProb is the per-Compute-call probability of a transient
+	// stall — preemption by a competing job, page migration — that
+	// multiplies the call's duration by a factor uniform in
+	// [1, SpikeMax]. Stalls are what a synchronous master waits for and
+	// an asynchronous one sails past.
+	SpikeProb float64
+	// SpikeMax bounds the stall multiplier (ignored when SpikeProb is 0).
+	SpikeMax float64
+	// Skew is the persistent per-process slowdown spread: process i runs
+	// all Compute calls a factor 1 + Skew·U³ slower (U uniform per
+	// process), modeling NUMA placement and persistent co-located load.
+	// The cube skews most processes toward full speed with a slow tail.
+	Skew float64
+	// Seed seeds the per-process noise streams.
+	Seed uint64
+}
+
+// Origin3800 models the paper's testbed, an SGI Origin 3800 ccNUMA system
+// (128 R12000 MIPS processors at 400 MHz, 64 GB shared memory) running a
+// message-passing metaheuristics framework on top of it. The constants are
+// calibrated so that the parallel-efficiency shapes of the paper's Tables
+// I–IV emerge (see EXPERIMENTS.md): per-message software overheads in the
+// tens of milliseconds — the framework serialized whole solutions through
+// a shared-memory mailbox layer — modest latency, and a few percent of
+// compute jitter from sharing the machine.
+func Origin3800() Machine {
+	return Machine{
+		SendOverhead: 0.050,
+		RecvOverhead: 0.050,
+		Latency:      0.002,
+		Bandwidth:    8e6,
+		Jitter:       0.10,
+		SpikeProb:    0.10,
+		SpikeMax:     16,
+		Skew:         0.5,
+		Seed:         0x0123456789abcdef,
+	}
+}
+
+// Ideal returns a machine with free communication and no jitter; useful in
+// tests and to isolate algorithmic from machine effects in ablations.
+func Ideal() Machine { return Machine{} }

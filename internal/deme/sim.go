@@ -1,0 +1,341 @@
+package deme
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Sim is the deterministic discrete-event backend. Process bodies run as
+// coroutines: exactly one goroutine — the scheduler or a single process —
+// executes at any moment, and the scheduler always advances the process
+// with the globally smallest virtual time, so results are independent of
+// host scheduling and fully reproducible.
+type Sim struct {
+	machine Machine
+	elapsed float64
+
+	// Per-Run state (one Run at a time). These live on Sim rather than
+	// in Run's frame so that simProc.Send can reach sibling mailboxes.
+	procs []*simProc
+	yield chan *simProc
+	seq   uint64
+	stats []ProcStats
+}
+
+// NewSim returns a simulator of the given machine.
+func NewSim(m Machine) *Sim { return &Sim{machine: m} }
+
+// Elapsed implements Runtime.
+func (s *Sim) Elapsed() float64 { return s.elapsed }
+
+type simState int
+
+const (
+	stReady   simState = iota // runnable at its clock
+	stTryRecv                 // runnable; scheduler must answer a poll first
+	stBlocked                 // waiting for mail or deadline
+	stDone                    // body returned
+)
+
+// mail is a queued message with its delivery time.
+type mail struct {
+	arrival float64
+	seq     uint64 // global sequence number; deterministic tie-break
+	msg     Message
+}
+
+type mailHeap []mail
+
+func (h mailHeap) Len() int { return len(h) }
+func (h mailHeap) Less(i, j int) bool {
+	if h[i].arrival != h[j].arrival {
+		return h[i].arrival < h[j].arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h mailHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mailHeap) Push(x any)   { *h = append(*h, x.(mail)) }
+func (h *mailHeap) Pop() any     { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+type simProc struct {
+	sim    *Sim
+	id     int
+	n      int
+	clock  float64
+	jitter *rng.Rand
+
+	speed float64 // persistent slowdown factor, >= 1
+	stat  ProcStats
+
+	state    simState
+	deadline float64 // absolute wake deadline while blocked (Inf for Recv)
+	mailbox  mailHeap
+
+	resume chan struct{}
+
+	// reply slot filled by the scheduler before resuming a receive.
+	replyMsg Message
+	replyOK  bool
+
+	panicVal any
+}
+
+// ID implements Proc.
+func (p *simProc) ID() int { return p.id }
+
+// P implements Proc.
+func (p *simProc) P() int { return p.n }
+
+// Now implements Proc.
+func (p *simProc) Now() float64 { return p.clock }
+
+// Compute implements Proc: advance the virtual clock by the cost scaled by
+// the machine's noise model (persistent skew, uniform jitter, transient
+// stall spikes) and yield so lower-clock processes can run.
+func (p *simProc) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("deme: negative compute cost")
+	}
+	m := &p.sim.machine
+	seconds *= p.speed
+	if m.Jitter > 0 {
+		seconds *= 1 + m.Jitter*(2*p.jitter.Float64()-1)
+	}
+	if m.SpikeProb > 0 && p.jitter.Float64() < m.SpikeProb {
+		seconds *= 1 + (m.SpikeMax-1)*p.jitter.Float64()
+	}
+	p.clock += seconds
+	p.stat.Compute += seconds
+	p.state = stReady
+	p.yield()
+}
+
+// Send implements Proc. The sender is charged the per-message overhead and
+// the bandwidth share; delivery happens Latency later. Send does not yield:
+// enqueuing mail cannot violate causality because arrival times never
+// precede the sender's clock.
+func (p *simProc) Send(to, tag int, data any, bytes int) {
+	m := &p.sim.machine
+	cost := m.SendOverhead
+	if m.Bandwidth > 0 && bytes > 0 {
+		cost += float64(bytes) / m.Bandwidth
+	}
+	p.clock += cost
+	p.stat.MsgsSent++
+	p.stat.BytesSent += bytes
+	target := p.sim.procs[to]
+	p.sim.seq++
+	heap.Push(&target.mailbox, mail{
+		arrival: p.clock + m.Latency,
+		seq:     p.sim.seq,
+		msg:     Message{From: p.id, Tag: tag, Data: data, Bytes: bytes},
+	})
+}
+
+// TryRecv implements Proc.
+func (p *simProc) TryRecv() (Message, bool) {
+	p.state = stTryRecv
+	p.yield()
+	return p.replyMsg, p.replyOK
+}
+
+// Recv implements Proc.
+func (p *simProc) Recv() (Message, bool) {
+	start := p.clock
+	p.state = stBlocked
+	p.deadline = math.Inf(1)
+	p.yield()
+	p.stat.Blocked += p.clock - start
+	return p.replyMsg, p.replyOK
+}
+
+// RecvTimeout implements Proc.
+func (p *simProc) RecvTimeout(seconds float64) (Message, bool) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	start := p.clock
+	p.state = stBlocked
+	p.deadline = p.clock + seconds
+	p.yield()
+	p.stat.Blocked += p.clock - start
+	return p.replyMsg, p.replyOK
+}
+
+// yield hands control to the scheduler and waits to be resumed.
+func (p *simProc) yield() {
+	p.sim.yield <- p
+	<-p.resume
+}
+
+// wake returns the virtual time at which a blocked process can proceed:
+// the earliest deliverable mail or the deadline, never before its clock.
+func (p *simProc) wake() float64 {
+	w := p.deadline
+	if len(p.mailbox) > 0 && p.mailbox[0].arrival < w {
+		w = p.mailbox[0].arrival
+	}
+	if w < p.clock {
+		w = p.clock
+	}
+	return w
+}
+
+// Run implements Runtime.
+func (s *Sim) Run(n int, body func(Proc)) error {
+	if n < 1 {
+		return fmt.Errorf("deme: Run needs at least one process, got %d", n)
+	}
+	s.procs = make([]*simProc, n)
+	s.yield = make(chan *simProc)
+	s.seq = 0
+	seeder := rng.New(s.machine.Seed)
+	for i := range s.procs {
+		jr := seeder.Split()
+		speed := 1.0
+		if s.machine.Skew > 0 {
+			u := jr.Float64()
+			speed = 1 + s.machine.Skew*u*u*u
+		}
+		s.procs[i] = &simProc{
+			sim:    s,
+			id:     i,
+			n:      n,
+			jitter: jr,
+			speed:  speed,
+			state:  stReady,
+			resume: make(chan struct{}),
+		}
+	}
+	for _, p := range s.procs {
+		go func(p *simProc) {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.panicVal = r
+				}
+				p.state = stDone
+				s.yield <- p
+			}()
+			body(p)
+		}(p)
+	}
+
+	running := n
+	var firstPanic error
+	for running > 0 {
+		p := s.pickNext()
+		if p == nil {
+			// Global deadlock: every live process waits forever.
+			// Release them deterministically with ok=false.
+			p = s.minBlocked()
+			p.replyOK = false
+			p.replyMsg = Message{}
+			p.state = stReady
+		} else {
+			switch p.state {
+			case stTryRecv:
+				p.replyMsg, p.replyOK = s.deliver(p)
+			case stBlocked:
+				w := p.wake()
+				if math.IsInf(w, 1) {
+					// Only reachable when other procs can
+					// still send; pickNext guarantees w is
+					// minimal, so this is the deadlock path
+					// handled above. Defensive fallback:
+					p.replyOK = false
+					p.state = stReady
+					break
+				}
+				if w > p.clock {
+					p.clock = w
+				}
+				p.replyMsg, p.replyOK = s.deliver(p)
+			}
+		}
+		p.state = stReady
+		p.resume <- struct{}{}
+		q := <-s.yield
+		if q.state == stDone {
+			running--
+			if q.panicVal != nil && firstPanic == nil {
+				firstPanic = fmt.Errorf("deme: process %d panicked: %v", q.id, q.panicVal)
+			}
+		}
+	}
+	s.elapsed = 0
+	s.stats = make([]ProcStats, len(s.procs))
+	for i, p := range s.procs {
+		if p.clock > s.elapsed {
+			s.elapsed = p.clock
+		}
+		p.stat.End = p.clock
+		s.stats[i] = p.stat
+	}
+	s.procs, s.yield = nil, nil
+	return firstPanic
+}
+
+// pickNext selects the live process with the smallest next event time:
+// ready processes keyed by their clock, blocked ones by their wake time.
+// Returns nil when all live processes are blocked forever.
+func (s *Sim) pickNext() *simProc {
+	var best *simProc
+	bestKey := math.Inf(1)
+	for _, p := range s.procs {
+		var key float64
+		switch p.state {
+		case stDone:
+			continue
+		case stReady, stTryRecv:
+			key = p.clock
+		case stBlocked:
+			key = p.wake()
+		}
+		if key < bestKey || (key == bestKey && best != nil && p.id < best.id) {
+			best, bestKey = p, key
+		}
+	}
+	if best != nil && math.IsInf(bestKey, 1) {
+		return nil
+	}
+	return best
+}
+
+// minBlocked returns the lowest-ID blocked process (used on deadlock).
+func (s *Sim) minBlocked() *simProc {
+	ids := make([]int, 0, len(s.procs))
+	for _, p := range s.procs {
+		if p.state == stBlocked || p.state == stTryRecv {
+			ids = append(ids, p.id)
+		}
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		// All remaining are ready; pick the first live one (cannot
+		// happen in a correct deadlock, defensive only).
+		for _, p := range s.procs {
+			if p.state != stDone {
+				return p
+			}
+		}
+	}
+	return s.procs[ids[0]]
+}
+
+// deliver pops the earliest deliverable message for p, charging the
+// receive overhead. A blocked caller has already been advanced to its wake
+// time, so an empty result there means the deadline passed (timeout).
+func (s *Sim) deliver(p *simProc) (Message, bool) {
+	if len(p.mailbox) > 0 && p.mailbox[0].arrival <= p.clock {
+		m := heap.Pop(&p.mailbox).(mail)
+		p.clock += s.machine.RecvOverhead
+		p.stat.MsgsReceived++
+		return m.msg, true
+	}
+	return Message{}, false
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tinyScale() Scale {
+	return Scale{
+		Name:              "test",
+		Runs:              2,
+		InstancesPerClass: 1,
+		MaxEvaluations:    800,
+		NeighborhoodSize:  40,
+		Processors:        []int{3},
+		ShrinkN:           40,
+	}
+}
+
+func TestTablesSpecs(t *testing.T) {
+	tables := Tables()
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+	if tables[0].N != 400 || tables[2].N != 600 {
+		t.Error("table sizes wrong")
+	}
+	for _, id := range []string{"I", "II", "III", "IV", "1", "4"} {
+		if _, err := TableByID(id); err != nil {
+			t.Errorf("TableByID(%q): %v", id, err)
+		}
+	}
+	if _, err := TableByID("V"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, n := range []string{"paper", "medium", "quick"} {
+		s, err := ScaleByName(n)
+		if err != nil || s.Runs == 0 {
+			t.Errorf("ScaleByName(%q) = %+v, %v", n, s, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	s := PaperScale()
+	vs := s.variants()
+	// sequential + 3 algorithms × 3 processor counts
+	if len(vs) != 10 {
+		t.Fatalf("got %d variants, want 10", len(vs))
+	}
+	if vs[0].Alg != core.Sequential || vs[0].Procs != 1 {
+		t.Error("first variant must be sequential")
+	}
+}
+
+func TestIncludeCombinedVariant(t *testing.T) {
+	s := tinyScale()
+	s.Processors = []int{4}
+	s.IncludeCombined = true
+	vs := s.variants()
+	found := false
+	for _, v := range vs {
+		if v.Alg == core.Combined && v.Procs == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("combined variant missing")
+	}
+	spec, _ := TableByID("I")
+	s.Runs = 1
+	res, err := RunTable(spec, s, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 { // seq + sync + async + coll + combined
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+}
+
+func TestRunTableTiny(t *testing.T) {
+	spec, err := TableByID("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTable(spec, tinyScale(), 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // seq + 3 variants at P=3
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Distance <= 0 || r.Runtime <= 0 {
+			t.Errorf("%v P=%d: non-positive aggregates %+v", r.Alg, r.Procs, r)
+		}
+		if r.Vehicles < 1 {
+			t.Errorf("%v: vehicles %g < 1", r.Alg, r.Vehicles)
+		}
+		if r.CovDom < 0 || r.CovDom > 1 || r.CovDomd < 0 || r.CovDomd > 1 {
+			t.Errorf("%v: coverage out of range", r.Alg)
+		}
+	}
+	if !math.IsNaN(res.Rows[0].SpeedupPct) {
+		t.Error("sequential row must have no speedup")
+	}
+	for _, r := range res.Rows[1:] {
+		if math.IsNaN(r.SpeedupPct) {
+			t.Errorf("%v: missing speedup", r.Alg)
+		}
+	}
+	if len(res.TTests) != 3 {
+		t.Errorf("got %d t-tests, want 3", len(res.TTests))
+	}
+	for _, tt := range res.TTests {
+		if tt.P < 0 || tt.P > 1 {
+			t.Errorf("%v: p-value %g out of range", tt.Alg, tt.P)
+		}
+	}
+}
+
+func TestRunTableDeterministic(t *testing.T) {
+	spec, _ := TableByID("I")
+	s := tinyScale()
+	s.Runs = 1
+	a, err := RunTable(spec, s, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTable(spec, s, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Distance != b.Rows[i].Distance || a.Rows[i].Runtime != b.Rows[i].Runtime {
+			t.Fatalf("row %d differs between identical harness runs", i)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	spec, _ := TableByID("II")
+	res, err := RunTable(spec, tinyScale(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TABLE II", "Sequential TSMO", "TSMO sync.", "TSMO async.", "TSMO coll.", "3 processors", "t-tests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := res.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{"### Table II", "| Algorithm |", "| seq", "↔"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown render missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	traj, err := RunFigure1(40, 3, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Points) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	var selected, stale bool
+	for _, p := range traj.Points {
+		if p.Selected {
+			selected = true
+		}
+		if p.Born < p.Iteration-1 {
+			stale = true
+		}
+	}
+	if !selected {
+		t.Error("no selected points")
+	}
+	if !stale {
+		t.Error("no stale candidates — asynchronous behavior not visible")
+	}
+	var buf bytes.Buffer
+	if err := traj.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "iteration,born,distance") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	spec, _ := TableByID("I")
+	s := tinyScale()
+	s.Runs = 1
+	var lines int
+	_, err := RunTable(spec, s, 3, func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("no progress lines emitted")
+	}
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/deme"
+	"repro/internal/operators"
+	"repro/internal/stats"
+	"repro/internal/vrptw"
+)
+
+// EqualTimeRow is one line of the equal-time comparison: with the runtime
+// fixed instead of the evaluation budget, how many evaluations does each
+// variant fit in, and what quality does it reach? This is the comparison
+// the paper's §IV proposes ("Given an equal amount of time, it would be
+// possible for the asynchronous Tabu Search to do more evaluations").
+type EqualTimeRow struct {
+	Alg      core.Algorithm
+	Procs    int
+	Evals    float64 // mean evaluations completed
+	EvalsStd float64
+	Dist     float64 // mean best feasible distance
+	DistStd  float64
+}
+
+// EqualTimeResult is the full equal-time comparison.
+type EqualTimeResult struct {
+	N       int
+	Seconds float64
+	Runs    int
+	Rows    []EqualTimeRow
+}
+
+// RunEqualTime runs every variant for a fixed virtual-time budget on a
+// generated R1 instance of size n.
+func RunEqualTime(n int, seconds float64, procs []int, runs int, seed uint64) (*EqualTimeResult, error) {
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	vars := []variant{{core.Sequential, 1}}
+	for _, p := range procs {
+		vars = append(vars,
+			variant{core.Synchronous, p},
+			variant{core.Asynchronous, p},
+			variant{core.Collaborative, p},
+		)
+	}
+	res := &EqualTimeResult{N: n, Seconds: seconds, Runs: runs}
+	for _, v := range vars {
+		evals := make([]float64, runs)
+		dists := make([]float64, runs)
+		for r := 0; r < runs; r++ {
+			cfg := core.DefaultConfig()
+			cfg.MaxEvaluations = 1 << 30
+			cfg.MaxSeconds = seconds
+			cfg.Processors = v.Procs
+			cfg.Seed = seed + uint64(r)
+			m := deme.Origin3800()
+			m.Seed = seed*31 + uint64(r)
+			out, err := core.Run(v.Alg, in, cfg, deme.NewSim(m))
+			if err != nil {
+				return nil, err
+			}
+			evals[r] = float64(out.Evaluations)
+			dists[r] = out.BestDistance()
+		}
+		row := EqualTimeRow{Alg: v.Alg, Procs: v.Procs}
+		row.Evals, row.EvalsStd = stats.MeanStd(evals)
+		row.Dist, row.DistStd = stats.MeanStd(dists)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the equal-time comparison as text.
+func (r *EqualTimeResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "EQUAL-TIME COMPARISON — %d-city R1, %.0f virtual seconds, %d runs\n",
+		r.N, r.Seconds, r.Runs)
+	fmt.Fprintf(w, "%-22s %20s %20s\n", "Algorithm", "evaluations", "best distance")
+	for _, row := range r.Rows {
+		name := fmt.Sprintf("%s P=%d", shortName(row.Alg), row.Procs)
+		if row.Alg == core.Sequential {
+			name = "sequential"
+		}
+		fmt.Fprintf(w, "%-22s %12.0f±%-7.0f %12.2f±%-7.2f\n",
+			name, row.Evals, row.EvalsStd, row.Dist, row.DistStd)
+	}
+	return nil
+}
+
+// OperatorRow is one line of the operator ablation: quality reached by the
+// sequential TSMO restricted to a single operator, versus the paper's
+// five-operator mix and the extended set.
+type OperatorRow struct {
+	Name    string
+	Dist    float64
+	DistStd float64
+	Veh     float64
+	Fails   int // runs without any feasible solution
+}
+
+// OperatorAblation compares neighborhoods built from different operator
+// sets on a generated R1 instance.
+type OperatorAblation struct {
+	N, Evals, Runs int
+	Rows           []OperatorRow
+}
+
+// RunOperatorAblation measures each operator set's end-of-run quality.
+func RunOperatorAblation(n, evals, runs int, seed uint64) (*OperatorAblation, error) {
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sets := []struct {
+		name string
+		ops  []operators.Operator
+	}{
+		{"paper-five", nil},
+		{"extended", operators.Extended()},
+	}
+	for _, op := range operators.All() {
+		sets = append(sets, struct {
+			name string
+			ops  []operators.Operator
+		}{op.Name() + "-only", []operators.Operator{op}})
+	}
+
+	res := &OperatorAblation{N: n, Evals: evals, Runs: runs}
+	for _, set := range sets {
+		dists := make([]float64, 0, runs)
+		var vehSum float64
+		fails := 0
+		for r := 0; r < runs; r++ {
+			cfg := core.DefaultConfig()
+			cfg.MaxEvaluations = evals
+			cfg.NeighborhoodSize = 100
+			cfg.Operators = set.ops
+			cfg.Seed = seed + uint64(r)
+			out, err := core.Run(core.Sequential, in, cfg, deme.NewSim(deme.Ideal()))
+			if err != nil {
+				return nil, err
+			}
+			d := out.BestDistance()
+			v := out.MinVehicles()
+			if len(out.FeasibleFront()) == 0 {
+				fails++
+				continue
+			}
+			dists = append(dists, d)
+			vehSum += v
+		}
+		row := OperatorRow{Name: set.name, Fails: fails}
+		if len(dists) > 0 {
+			row.Dist, row.DistStd = stats.MeanStd(dists)
+			row.Veh = vehSum / float64(len(dists))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the ablation as text.
+func (a *OperatorAblation) Render(w io.Writer) error {
+	fmt.Fprintf(w, "OPERATOR ABLATION — %d-city R1, %d evaluations, %d runs (sequential TSMO)\n",
+		a.N, a.Evals, a.Runs)
+	fmt.Fprintf(w, "%-18s %20s %10s %8s\n", "Operator set", "best distance", "vehicles", "no-feas")
+	for _, row := range a.Rows {
+		fmt.Fprintf(w, "%-18s %12.2f±%-7.2f %10.2f %8d\n",
+			row.Name, row.Dist, row.DistStd, row.Veh, row.Fails)
+	}
+	return nil
+}

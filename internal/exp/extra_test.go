@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunEqualTime(t *testing.T) {
+	res, err := RunEqualTime(50, 12, []int{3}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // seq + 3 variants at P=3
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	var seqEvals, asyEvals float64
+	for _, r := range res.Rows {
+		if r.Evals <= 0 {
+			t.Errorf("%v: no evaluations", r.Alg)
+		}
+		switch r.Alg {
+		case core.Sequential:
+			seqEvals = r.Evals
+		case core.Asynchronous:
+			asyEvals = r.Evals
+		}
+	}
+	// The paper's remark: equal time lets async do more evaluations.
+	if asyEvals <= seqEvals {
+		t.Errorf("async evals %.0f <= sequential %.0f at equal time", asyEvals, seqEvals)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "EQUAL-TIME") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunOperatorAblation(t *testing.T) {
+	res, err := RunOperatorAblation(30, 800, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 { // paper-five, extended, 5 singles
+		t.Fatalf("got %d rows, want 7", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		names[r.Name] = true
+		if r.Fails < 0 || r.Fails > 2 {
+			t.Errorf("%s: fails %d out of range", r.Name, r.Fails)
+		}
+	}
+	for _, want := range []string{"paper-five", "extended", "relocate-only", "2-opt-only"} {
+		if !names[want] {
+			t.Errorf("missing row %q (have %v)", want, names)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OPERATOR ABLATION") {
+		t.Error("render missing header")
+	}
+}

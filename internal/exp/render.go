@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Render writes the table in a layout mirroring the paper's: one block per
+// processor count, columns distance, vehicles, runtime, coverage and
+// speedup, followed by the significance tests.
+func (t *TableResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "TABLE %s — %s (scale: %s)\n", t.Spec.ID, t.Spec.Label, t.Scale.Name)
+	fmt.Fprintf(w, "%-22s %22s %18s %20s %20s %10s\n",
+		"Algorithm", "distance", "vehicles", "runtime", "coverage", "speedup")
+
+	writeRow := func(r Row) {
+		name := "TSMO " + shortName(r.Alg)
+		if r.Alg == core.Sequential {
+			name = "Sequential TSMO"
+		}
+		cov := fmt.Sprintf("%5.2f%% <-> %5.2f%%", r.CovDom*100, r.CovDomd*100)
+		speed := "—"
+		if !math.IsNaN(r.SpeedupPct) {
+			speed = fmt.Sprintf("%+.2f%%", r.SpeedupPct)
+		}
+		fmt.Fprintf(w, "%-22s %12.2f±%-9.2f %10.2f±%-6.2f %12.2f±%-7.2f %20s %10s\n",
+			name, r.Distance, r.DistStd, r.Vehicles, r.VehStd, r.Runtime, r.RunStd, cov, speed)
+	}
+
+	// Sequential row first, then per-processor blocks in ascending order.
+	for _, r := range t.Rows {
+		if r.Alg == core.Sequential {
+			writeRow(r)
+		}
+	}
+	for _, p := range t.processorCounts() {
+		fmt.Fprintf(w, "%d processors\n", p)
+		for _, r := range t.Rows {
+			if r.Alg != core.Sequential && r.Procs == p {
+				writeRow(r)
+			}
+		}
+	}
+
+	if len(t.TTests) > 0 {
+		fmt.Fprintln(w, "paired t-tests vs sequential (distance):")
+		for _, tt := range t.TTests {
+			sig := ""
+			if tt.P < 0.05 {
+				sig = "  (significant at 5%)"
+			}
+			fmt.Fprintf(w, "  %-14s P=%-2d  t=%8.3f  p=%.4f%s\n", shortName(tt.Alg), tt.Procs, tt.T, tt.P, sig)
+		}
+	}
+	return nil
+}
+
+func shortName(a core.Algorithm) string {
+	switch a {
+	case core.Synchronous:
+		return "sync."
+	case core.Asynchronous:
+		return "async."
+	case core.Collaborative:
+		return "coll."
+	case core.Combined:
+		return "comb."
+	default:
+		return a.String()
+	}
+}
+
+func (t *TableResult) processorCounts() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range t.Rows {
+		if r.Alg == core.Sequential || seen[r.Procs] {
+			continue
+		}
+		seen[r.Procs] = true
+		out = append(out, r.Procs)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table for
+// EXPERIMENTS.md.
+func (t *TableResult) RenderMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "### Table %s — %s\n\n", t.Spec.ID, t.Spec.Label)
+	fmt.Fprintf(w, "Scale `%s`: %d run(s) × %d instance(s)/class, %d evaluations, neighborhood %d.\n\n",
+		t.Scale.Name, t.Scale.Runs, t.Scale.InstancesPerClass, t.Scale.MaxEvaluations, t.Scale.NeighborhoodSize)
+	fmt.Fprintln(w, "| Algorithm | P | distance | vehicles | runtime [s] | coverage | speedup |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, r := range t.Rows {
+		speed := "—"
+		if !math.IsNaN(r.SpeedupPct) {
+			speed = fmt.Sprintf("%+.2f%%", r.SpeedupPct)
+		}
+		fmt.Fprintf(w, "| %s | %d | %.2f±%.2f | %.2f±%.2f | %.2f±%.2f | %.1f%% ↔ %.1f%% | %s |\n",
+			shortName(r.Alg), r.Procs, r.Distance, r.DistStd, r.Vehicles, r.VehStd,
+			r.Runtime, r.RunStd, r.CovDom*100, r.CovDomd*100, speed)
+	}
+	if len(t.TTests) > 0 {
+		fmt.Fprintln(w, "\nPaired t-tests vs sequential (distance):")
+		fmt.Fprintln(w)
+		for _, tt := range t.TTests {
+			fmt.Fprintf(w, "- %s P=%d: t=%.3f, p=%.4f\n", shortName(tt.Alg), tt.Procs, tt.T, tt.P)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/deme"
+	"repro/internal/metrics"
+	"repro/internal/solution"
+	"repro/internal/stats"
+	"repro/internal/vrptw"
+)
+
+// Row is one algorithm line of a reproduced table, mirroring the paper's
+// columns: distance and vehicles (mean ± std of the per-run aggregates over
+// the instance pool), runtime (mean ± std of the per-instance virtual
+// runtime), the set coverage metric in both directions, and the speedup
+// percentage (T_seq/T_par − 1)·100.
+type Row struct {
+	Alg        core.Algorithm
+	Procs      int
+	Distance   float64
+	DistStd    float64
+	Vehicles   float64
+	VehStd     float64
+	Runtime    float64
+	RunStd     float64
+	CovDom     float64 // fraction of others' solutions this row dominates
+	CovDomd    float64 // fraction of this row's solutions others dominate
+	SpeedupPct float64 // NaN for the sequential row
+}
+
+// TTestRow is the paper's §IV significance check: a paired t-test of a
+// variant's per-run distances against the sequential algorithm's.
+type TTestRow struct {
+	Alg   core.Algorithm
+	Procs int
+	T     float64
+	P     float64
+}
+
+// TableResult is one reproduced table.
+type TableResult struct {
+	Spec   TableSpec
+	Scale  Scale
+	Rows   []Row
+	TTests []TTestRow
+}
+
+// runRecord is the outcome of one (variant, instance, run) cell.
+type runRecord struct {
+	front    []solution.Objectives // feasible front
+	bestDist float64
+	minVeh   float64
+	elapsed  float64
+}
+
+// RunTable reproduces one of the paper's tables at the given scale. logf,
+// when non-nil, receives progress lines.
+func RunTable(spec TableSpec, scale Scale, seed uint64, logf func(format string, args ...any)) (*TableResult, error) {
+	say := func(format string, args ...any) {
+		if logf != nil {
+			logf(format, args...)
+		}
+	}
+	n := spec.N
+	if scale.ShrinkN > 0 {
+		n = scale.ShrinkN
+	}
+	var instances []*vrptw.Instance
+	for _, class := range spec.Classes {
+		for i := 0; i < scale.InstancesPerClass; i++ {
+			in, err := vrptw.Generate(vrptw.GenConfig{Class: class, N: n, Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("exp: generating %v instance: %w", class, err)
+			}
+			instances = append(instances, in)
+		}
+	}
+
+	vars := scale.variants()
+	// records[v][inst][run]
+	records := make([][][]runRecord, len(vars))
+	for vi, v := range vars {
+		records[vi] = make([][]runRecord, len(instances))
+		for ii, in := range instances {
+			records[vi][ii] = make([]runRecord, scale.Runs)
+			for run := 0; run < scale.Runs; run++ {
+				rec, err := runOnce(v, in, scale, seed, ii, run)
+				if err != nil {
+					return nil, err
+				}
+				records[vi][ii][run] = rec
+			}
+			say("table %s: %s P=%d instance %s done", spec.ID, v.Alg, v.Procs, in.Name)
+		}
+	}
+
+	res := &TableResult{Spec: spec, Scale: scale}
+	seqIdx := 0
+	seqDist := perRunAggregates(records[seqIdx], func(r runRecord) float64 { return r.bestDist }, true)
+	seqRuntime := stats.Mean(flatten(records[seqIdx], func(r runRecord) float64 { return r.elapsed }))
+
+	for vi, v := range vars {
+		dist := perRunAggregates(records[vi], func(r runRecord) float64 { return r.bestDist }, true)
+		veh := perRunAggregates(records[vi], func(r runRecord) float64 { return r.minVeh }, true)
+		rt := flatten(records[vi], func(r runRecord) float64 { return r.elapsed })
+		row := Row{Alg: v.Alg, Procs: v.Procs}
+		row.Distance, row.DistStd = stats.MeanStd(dist)
+		row.Vehicles, row.VehStd = stats.MeanStd(veh)
+		row.Runtime, row.RunStd = stats.MeanStd(rt)
+		if v.Alg == core.Sequential {
+			row.SpeedupPct = math.NaN()
+		} else {
+			row.SpeedupPct = (seqRuntime/row.Runtime - 1) * 100
+		}
+		row.CovDom, row.CovDomd = coverage(vi, vars, records, instances)
+		res.Rows = append(res.Rows, row)
+
+		if v.Alg != core.Sequential {
+			tt, err := stats.PairedTTest(dist, seqDist)
+			if err == nil {
+				res.TTests = append(res.TTests, TTestRow{Alg: v.Alg, Procs: v.Procs, T: tt.T, P: tt.P})
+			}
+		}
+	}
+	say("table %s complete", spec.ID)
+	return res, nil
+}
+
+// runOnce executes one (variant, instance, run) cell on the simulated
+// Origin 3800. Algorithm seeds pair up across variants (same instance and
+// run index), and the machine noise seed varies per cell's (instance, run)
+// so placement effects average out like repeated submissions on a shared
+// machine.
+func runOnce(v variant, in *vrptw.Instance, scale Scale, seed uint64, inst, run int) (runRecord, error) {
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = scale.MaxEvaluations
+	cfg.NeighborhoodSize = scale.NeighborhoodSize
+	cfg.Processors = v.Procs
+	cfg.Seed = seed*1000003 + uint64(inst)*1009 + uint64(run)
+	m := deme.Origin3800()
+	m.Seed = cfg.Seed ^ 0x9e3779b97f4a7c15
+	res, err := core.Run(v.Alg, in, cfg, deme.NewSim(m))
+	if err != nil {
+		return runRecord{}, fmt.Errorf("exp: %v on %s: %w", v.Alg, in.Name, err)
+	}
+	rec := runRecord{
+		front:   metrics.FeasibleObjs(res.Front),
+		elapsed: res.Elapsed,
+	}
+	rec.bestDist = res.BestDistance()
+	rec.minVeh = res.MinVehicles()
+	if math.IsInf(rec.bestDist, 1) {
+		// No feasible solution survived in the archive (rare); fall
+		// back to the least-tardy solution so aggregates stay finite.
+		best := math.Inf(1)
+		var bd, bv float64
+		for _, s := range res.Front {
+			if s.Obj.Tardiness < best {
+				best = s.Obj.Tardiness
+				bd, bv = s.Obj.Distance, s.Obj.Vehicles
+			}
+		}
+		rec.bestDist, rec.minVeh = bd, bv
+	}
+	return rec, nil
+}
+
+// perRunAggregates reduces records to one value per run index: the sum
+// (sum=true) or mean over the instance pool — the paper reports pooled
+// values over each class set.
+func perRunAggregates(rec [][]runRecord, f func(runRecord) float64, sum bool) []float64 {
+	if len(rec) == 0 {
+		return nil
+	}
+	runs := len(rec[0])
+	out := make([]float64, runs)
+	for r := 0; r < runs; r++ {
+		for i := range rec {
+			out[r] += f(rec[i][r])
+		}
+		if !sum {
+			out[r] /= float64(len(rec))
+		}
+	}
+	return out
+}
+
+func flatten(rec [][]runRecord, f func(runRecord) float64) []float64 {
+	var out []float64
+	for i := range rec {
+		for r := range rec[i] {
+			out = append(out, f(rec[i][r]))
+		}
+	}
+	return out
+}
+
+// coverage computes the paper's set coverage presentation for variant vi:
+// every run of a problem is compared against every run of each other
+// algorithm in the same processor group (plus the sequential baseline) on
+// the same problem, and the ratios are averaged.
+func coverage(vi int, vars []variant, records [][][]runRecord, instances []*vrptw.Instance) (dom, domd float64) {
+	v := vars[vi]
+	var others []int
+	for oi, o := range vars {
+		if oi == vi {
+			continue
+		}
+		if o.Procs == v.Procs || o.Alg == core.Sequential || v.Alg == core.Sequential {
+			others = append(others, oi)
+		}
+	}
+	if len(others) == 0 {
+		return 0, 0
+	}
+	var sumDom, sumDomd float64
+	var count int
+	for _, oi := range others {
+		for ii := range instances {
+			for _, mine := range records[vi][ii] {
+				for _, theirs := range records[oi][ii] {
+					sumDom += metrics.Coverage(mine.front, theirs.front)
+					sumDomd += metrics.Coverage(theirs.front, mine.front)
+					count++
+				}
+			}
+		}
+	}
+	return sumDom / float64(count), sumDomd / float64(count)
+}
+
+// RunFigure1 reproduces the paper's Figure 1: the trajectory of the
+// asynchronous TSMO in objective space, with candidates tagged by the
+// iteration their neighborhood was generated in and the selected current
+// solutions marked.
+func RunFigure1(n int, procs int, evals int, seed uint64) (*core.Trajectory, error) {
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxEvaluations = evals
+	cfg.NeighborhoodSize = 50
+	cfg.Processors = procs
+	cfg.Seed = seed
+	cfg.RecordTrajectory = true
+	res, err := core.Run(core.Asynchronous, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		return nil, err
+	}
+	return res.Trajectory, nil
+}

@@ -1,0 +1,153 @@
+// Package exp is the experiment harness that regenerates the paper's
+// evaluation: Tables I–IV (distance, vehicles, runtime, set coverage and
+// speedup of the sequential, synchronous, asynchronous and collaborative
+// TSMO at 3, 6 and 12 processors on 400- and 600-city instance sets) and
+// Figure 1 (the asynchronous search trajectory). Scales are configurable:
+// PaperScale mirrors the paper's setup, QuickScale fits CI machines.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vrptw"
+)
+
+// TableSpec identifies one of the paper's result tables.
+type TableSpec struct {
+	// ID is the paper's table number, "I" through "IV".
+	ID string
+	// N is the instance size (400 or 600 customers).
+	N int
+	// Classes are the instance classes pooled in the table.
+	Classes []vrptw.Class
+	// Label is the paper's caption summary.
+	Label string
+}
+
+// Tables returns the paper's four table specifications.
+func Tables() []TableSpec {
+	return []TableSpec{
+		{ID: "I", N: 400, Classes: []vrptw.Class{vrptw.C1, vrptw.R1},
+			Label: "400 city extended Solomon problems with small time windows (C1, R1)"},
+		{ID: "II", N: 400, Classes: []vrptw.Class{vrptw.C2, vrptw.R2},
+			Label: "400 city extended Solomon problems with large time windows (C2, R2)"},
+		{ID: "III", N: 600, Classes: []vrptw.Class{vrptw.C1, vrptw.R1},
+			Label: "600 city extended Solomon problems with small time windows (C1, R1)"},
+		{ID: "IV", N: 600, Classes: []vrptw.Class{vrptw.C2, vrptw.R2},
+			Label: "600 city extended Solomon problems with large time windows (C2, R2)"},
+	}
+}
+
+// TableByID returns the spec with the given ID ("I".."IV" or "1".."4").
+func TableByID(id string) (TableSpec, error) {
+	alias := map[string]string{"1": "I", "2": "II", "3": "III", "4": "IV"}
+	if a, ok := alias[id]; ok {
+		id = a
+	}
+	for _, t := range Tables() {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("exp: unknown table %q", id)
+}
+
+// Scale controls how much of the paper's experimental effort is spent.
+type Scale struct {
+	// Name tags the scale in reports.
+	Name string
+	// Runs per instance (paper: 30).
+	Runs int
+	// InstancesPerClass generated per class (the Homberger set has 10
+	// per class; the paper pools them).
+	InstancesPerClass int
+	// MaxEvaluations per run (paper: 100,000).
+	MaxEvaluations int
+	// NeighborhoodSize (paper: 200).
+	NeighborhoodSize int
+	// Processors evaluated for each parallel variant (paper: 3, 6, 12).
+	Processors []int
+	// ShrinkN optionally overrides the table's instance size (0 keeps
+	// it); used by the quick scale to stay laptop-friendly.
+	ShrinkN int
+	// IncludeCombined adds the paper's future-work variant (islands of
+	// asynchronous masters that collaborate) to every processor block
+	// with at least 4 processes.
+	IncludeCombined bool
+}
+
+// PaperScale reproduces the paper's setup (expensive: hours of real time).
+func PaperScale() Scale {
+	return Scale{
+		Name:              "paper",
+		Runs:              30,
+		InstancesPerClass: 10,
+		MaxEvaluations:    100000,
+		NeighborhoodSize:  200,
+		Processors:        []int{3, 6, 12},
+	}
+}
+
+// MediumScale keeps the full instance sizes and processor counts but
+// reduces repetition; minutes of real time per table.
+func MediumScale() Scale {
+	return Scale{
+		Name:              "medium",
+		Runs:              15,
+		InstancesPerClass: 2,
+		MaxEvaluations:    30000,
+		NeighborhoodSize:  200,
+		Processors:        []int{3, 6, 12},
+	}
+}
+
+// QuickScale is a smoke-test scale for CI: tiny budgets, shrunken
+// instances.
+func QuickScale() Scale {
+	return Scale{
+		Name:              "quick",
+		Runs:              3,
+		InstancesPerClass: 1,
+		MaxEvaluations:    4000,
+		NeighborhoodSize:  100,
+		Processors:        []int{3},
+		ShrinkN:           120,
+	}
+}
+
+// ScaleByName resolves "paper", "medium" or "quick".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "paper":
+		return PaperScale(), nil
+	case "medium":
+		return MediumScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	}
+	return Scale{}, fmt.Errorf("exp: unknown scale %q (want paper, medium or quick)", name)
+}
+
+// variant is one algorithm row of a table.
+type variant struct {
+	Alg   core.Algorithm
+	Procs int
+}
+
+// variants returns the rows of a table at this scale: sequential plus each
+// parallel algorithm at each processor count, in the paper's order.
+func (s Scale) variants() []variant {
+	out := []variant{{core.Sequential, 1}}
+	for _, p := range s.Processors {
+		out = append(out,
+			variant{core.Synchronous, p},
+			variant{core.Asynchronous, p},
+			variant{core.Collaborative, p},
+		)
+		if s.IncludeCombined && p >= 4 {
+			out = append(out, variant{core.Combined, p})
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/tabu"
+	"repro/internal/vrptw"
+)
+
+// This file contains operators beyond the paper's five — the classic VRPTW
+// moves its references catalogue (Bräysy & Gendreau 2005): variable-length
+// Or-opt, relocation into a fresh route, and CrossExchange. They are not
+// part of All(); compose them with Extended() for experiments on richer
+// neighborhoods.
+
+// Extended returns the paper's five operators plus the extension set.
+func Extended() []Operator {
+	return append(All(), OrOptN{MaxLen: 3}, RelocateNew{}, CrossExchange{MaxLen: 3})
+}
+
+// Extension operator tags continue the attribute tag space of moves.go.
+const (
+	tagOrOptN = iota + 16
+	tagRelocateNew
+	tagCrossExchange
+)
+
+// OrOptN moves a segment of 1..MaxLen consecutive customers to a different
+// position in the same route — the general Or-opt, of which the paper's
+// two-customer variant is the special case.
+type OrOptN struct {
+	// MaxLen bounds the segment length (>= 1; 3 is the classic choice).
+	MaxLen int
+}
+
+// Name implements Operator.
+func (o OrOptN) Name() string { return fmt.Sprintf("or-opt-%d", o.maxLen()) }
+
+func (o OrOptN) maxLen() int {
+	if o.MaxLen < 1 {
+		return 3
+	}
+	return o.MaxLen
+}
+
+type orOptNMove struct {
+	route, seg, length, dst int
+	c1, c2                  int
+}
+
+// Propose implements Operator.
+func (o OrOptN) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	for try := 0; try < proposeAttempts; try++ {
+		ri := r.Intn(len(s.Routes))
+		route := s.Routes[ri]
+		length := 1 + r.Intn(o.maxLen())
+		if len(route) < length+1 {
+			continue
+		}
+		seg := r.Intn(len(route) - length + 1)
+		dst := r.Intn(len(route) - length + 1)
+		if dst == seg {
+			continue
+		}
+		c1, c2 := route[seg], route[seg+length-1]
+		rem := concat(route[:seg], route[seg+length:])
+		if !arcOK(in, before(route, seg), after(route, seg+length-1)) {
+			continue
+		}
+		if !arcOK(in, before(rem, dst), c1) {
+			continue
+		}
+		next := 0
+		if dst < len(rem) {
+			next = rem[dst]
+		}
+		if !arcOK(in, c2, next) {
+			continue
+		}
+		return orOptNMove{route: ri, seg: seg, length: length, dst: dst, c1: c1, c2: c2}, true
+	}
+	return nil, false
+}
+
+func (m orOptNMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	route := s.Routes[m.route]
+	segment := route[m.seg : m.seg+m.length]
+	rem := concat(route[:m.seg], route[m.seg+m.length:])
+	nr := concat(rem[:m.dst], segment, rem[m.dst:])
+	return s.WithRoutes(in, []int{m.route}, [][]int{nr})
+}
+
+func (m orOptNMove) Attribute() tabu.Attribute { return attribute(tagOrOptN, m.c1, m.c2) }
+func (m orOptNMove) Operator() string          { return fmt.Sprintf("or-opt-%d", m.length) }
+
+// RelocateNew moves one customer out of a multi-customer route into a
+// fresh route of its own. It is the inverse pressure to the paper's
+// vehicle-count minimization: it buys slack (shorter tardy routes) at the
+// cost of one more vehicle, letting the search repair heavily violated
+// solutions.
+type RelocateNew struct{}
+
+// Name implements Operator.
+func (RelocateNew) Name() string { return "relocate-new" }
+
+type relocateNewMove struct {
+	from, fpos int
+	cust       int
+}
+
+// Propose implements Operator.
+func (RelocateNew) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	if len(s.Routes) >= in.Vehicles {
+		return nil, false // fleet exhausted
+	}
+	for try := 0; try < proposeAttempts; try++ {
+		from := r.Intn(len(s.Routes))
+		rf := s.Routes[from]
+		if len(rf) < 2 {
+			continue // moving a singleton would just relabel the route
+		}
+		fpos := r.Intn(len(rf))
+		cust := rf[fpos]
+		if !arcOK(in, before(rf, fpos), after(rf, fpos)) {
+			continue
+		}
+		if !arcOK(in, 0, cust) {
+			continue
+		}
+		return relocateNewMove{from: from, fpos: fpos, cust: cust}, true
+	}
+	return nil, false
+}
+
+func (m relocateNewMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	rf := s.Routes[m.from]
+	nf := concat(rf[:m.fpos], rf[m.fpos+1:])
+	next := s.WithRoutes(in, []int{m.from}, [][]int{nf})
+	// Append the fresh singleton route.
+	routes := append(next.Routes, []int{m.cust})
+	d, t, l := solution.RouteMetrics(in, routes[len(routes)-1])
+	next.Routes = routes
+	next.Dist = append(next.Dist, d)
+	next.Tard = append(next.Tard, t)
+	next.Load = append(next.Load, l)
+	next.Obj.Distance += d
+	next.Obj.Tardiness += t
+	next.Obj.Vehicles++
+	return next
+}
+
+func (m relocateNewMove) Attribute() tabu.Attribute { return attribute(tagRelocateNew, m.cust, 0) }
+func (m relocateNewMove) Operator() string          { return "relocate-new" }
+
+// CrossExchange swaps two segments of up to MaxLen consecutive customers
+// between different routes (Taillard et al. 1997), generalizing the
+// paper's Exchange from single customers to segments.
+type CrossExchange struct {
+	// MaxLen bounds both segment lengths (>= 1; 3 is the classic choice).
+	MaxLen int
+}
+
+// Name implements Operator.
+func (c CrossExchange) Name() string { return fmt.Sprintf("cross-exchange-%d", c.maxLen()) }
+
+func (c CrossExchange) maxLen() int {
+	if c.MaxLen < 1 {
+		return 3
+	}
+	return c.MaxLen
+}
+
+type crossExchangeMove struct {
+	r1, p1, l1 int
+	r2, p2, l2 int
+	a1, a2     int // leading customers, for the attribute
+}
+
+// Propose implements Operator.
+func (c CrossExchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	if len(s.Routes) < 2 {
+		return nil, false
+	}
+	for try := 0; try < proposeAttempts; try++ {
+		r1 := r.Intn(len(s.Routes))
+		r2 := r.Intn(len(s.Routes))
+		if r1 == r2 {
+			continue
+		}
+		a, b := s.Routes[r1], s.Routes[r2]
+		l1 := 1 + r.Intn(c.maxLen())
+		l2 := 1 + r.Intn(c.maxLen())
+		if len(a) < l1 || len(b) < l2 {
+			continue
+		}
+		p1 := r.Intn(len(a) - l1 + 1)
+		p2 := r.Intn(len(b) - l2 + 1)
+		load1 := s.Load[r1] - segLoad(in, a[p1:p1+l1]) + segLoad(in, b[p2:p2+l2])
+		load2 := s.Load[r2] - segLoad(in, b[p2:p2+l2]) + segLoad(in, a[p1:p1+l1])
+		if load1 > in.Capacity || load2 > in.Capacity {
+			continue
+		}
+		// New arcs around both transplanted segments.
+		if !arcOK(in, before(a, p1), b[p2]) || !arcOK(in, b[p2+l2-1], after(a, p1+l1-1)) {
+			continue
+		}
+		if !arcOK(in, before(b, p2), a[p1]) || !arcOK(in, a[p1+l1-1], after(b, p2+l2-1)) {
+			continue
+		}
+		return crossExchangeMove{r1: r1, p1: p1, l1: l1, r2: r2, p2: p2, l2: l2, a1: a[p1], a2: b[p2]}, true
+	}
+	return nil, false
+}
+
+func segLoad(in *vrptw.Instance, seg []int) float64 {
+	var l float64
+	for _, c := range seg {
+		l += in.Sites[c].Demand
+	}
+	return l
+}
+
+func (m crossExchangeMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	a, b := s.Routes[m.r1], s.Routes[m.r2]
+	na := concat(a[:m.p1], b[m.p2:m.p2+m.l2], a[m.p1+m.l1:])
+	nb := concat(b[:m.p2], a[m.p1:m.p1+m.l1], b[m.p2+m.l2:])
+	return s.WithRoutes(in, []int{m.r1, m.r2}, [][]int{na, nb})
+}
+
+func (m crossExchangeMove) Attribute() tabu.Attribute {
+	lo, hi := m.a1, m.a2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return attribute(tagCrossExchange, lo, hi)
+}
+func (m crossExchangeMove) Operator() string { return "cross-exchange" }

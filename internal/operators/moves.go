@@ -1,0 +1,338 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/tabu"
+	"repro/internal/vrptw"
+)
+
+// Relocate moves one customer from its route to a position in another
+// route — Osman's (1,0) λ-exchange. Emptied donor routes disappear, which
+// is the search's only way to reduce the vehicle count.
+type Relocate struct{}
+
+// Name implements Operator.
+func (Relocate) Name() string { return "relocate" }
+
+// relocateMove is the reified Relocate move.
+type relocateMove struct {
+	from, fpos int // donor route index and customer position
+	to, tpos   int // receiving route index and insertion position
+	cust       int
+}
+
+// Propose implements Operator.
+func (Relocate) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	if len(s.Routes) < 2 {
+		return nil, false
+	}
+	for try := 0; try < proposeAttempts; try++ {
+		from := r.Intn(len(s.Routes))
+		to := r.Intn(len(s.Routes))
+		if from == to {
+			continue
+		}
+		rf, rt := s.Routes[from], s.Routes[to]
+		fpos := r.Intn(len(rf))
+		cust := rf[fpos]
+		if s.Load[to]+in.Sites[cust].Demand > in.Capacity {
+			continue
+		}
+		tpos := r.Intn(len(rt) + 1)
+		// Arcs created: gap closure in donor, insertion arcs in receiver.
+		if !arcOK(in, before(rf, fpos), after(rf, fpos)) {
+			continue
+		}
+		if !arcOK(in, before(rt, tpos), cust) {
+			continue
+		}
+		next := 0
+		if tpos < len(rt) {
+			next = rt[tpos]
+		}
+		if !arcOK(in, cust, next) {
+			continue
+		}
+		return relocateMove{from: from, fpos: fpos, to: to, tpos: tpos, cust: cust}, true
+	}
+	return nil, false
+}
+
+func (m relocateMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	rf, rt := s.Routes[m.from], s.Routes[m.to]
+	nf := concat(rf[:m.fpos], rf[m.fpos+1:])
+	nt := concat(rt[:m.tpos], []int{m.cust}, rt[m.tpos:])
+	return s.WithRoutes(in, []int{m.from, m.to}, [][]int{nf, nt})
+}
+
+func (m relocateMove) Attribute() tabu.Attribute { return attribute(tagRelocate, m.cust, 0) }
+func (m relocateMove) Operator() string          { return "relocate" }
+
+// Exchange swaps two customers between different routes — Osman's (1,1)
+// λ-exchange.
+type Exchange struct{}
+
+// Name implements Operator.
+func (Exchange) Name() string { return "exchange" }
+
+type exchangeMove struct {
+	r1, p1 int
+	r2, p2 int
+	c1, c2 int
+}
+
+// Propose implements Operator.
+func (Exchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	if len(s.Routes) < 2 {
+		return nil, false
+	}
+	for try := 0; try < proposeAttempts; try++ {
+		r1 := r.Intn(len(s.Routes))
+		r2 := r.Intn(len(s.Routes))
+		if r1 == r2 {
+			continue
+		}
+		a, b := s.Routes[r1], s.Routes[r2]
+		p1 := r.Intn(len(a))
+		p2 := r.Intn(len(b))
+		c1, c2 := a[p1], b[p2]
+		d1, d2 := in.Sites[c1].Demand, in.Sites[c2].Demand
+		if s.Load[r1]-d1+d2 > in.Capacity || s.Load[r2]-d2+d1 > in.Capacity {
+			continue
+		}
+		if !arcOK(in, before(a, p1), c2) || !arcOK(in, c2, after(a, p1)) {
+			continue
+		}
+		if !arcOK(in, before(b, p2), c1) || !arcOK(in, c1, after(b, p2)) {
+			continue
+		}
+		return exchangeMove{r1: r1, p1: p1, r2: r2, p2: p2, c1: c1, c2: c2}, true
+	}
+	return nil, false
+}
+
+func (m exchangeMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	a := concat(s.Routes[m.r1])
+	b := concat(s.Routes[m.r2])
+	a[m.p1], b[m.p2] = m.c2, m.c1
+	return s.WithRoutes(in, []int{m.r1, m.r2}, [][]int{a, b})
+}
+
+func (m exchangeMove) Attribute() tabu.Attribute {
+	lo, hi := m.c1, m.c2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return attribute(tagExchange, lo, hi)
+}
+func (m exchangeMove) Operator() string { return "exchange" }
+
+// TwoOpt reverses a contiguous segment of a single route (or the whole
+// route).
+type TwoOpt struct{}
+
+// Name implements Operator.
+func (TwoOpt) Name() string { return "2-opt" }
+
+type twoOptMove struct {
+	route, i, j int // reverse positions i..j inclusive, i < j
+	ci, cj      int
+}
+
+// Propose implements Operator.
+func (TwoOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	for try := 0; try < proposeAttempts; try++ {
+		ri := r.Intn(len(s.Routes))
+		route := s.Routes[ri]
+		if len(route) < 2 {
+			continue
+		}
+		i := r.Intn(len(route) - 1)
+		j := i + 1 + r.Intn(len(route)-i-1)
+		// Arcs created: (before(i), c_j) and (c_i, after(j)).
+		if !arcOK(in, before(route, i), route[j]) {
+			continue
+		}
+		if !arcOK(in, route[i], after(route, j)) {
+			continue
+		}
+		return twoOptMove{route: ri, i: i, j: j, ci: route[i], cj: route[j]}, true
+	}
+	return nil, false
+}
+
+func (m twoOptMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	route := s.Routes[m.route]
+	nr := concat(route)
+	for a, b := m.i, m.j; a < b; a, b = a+1, b-1 {
+		nr[a], nr[b] = nr[b], nr[a]
+	}
+	return s.WithRoutes(in, []int{m.route}, [][]int{nr})
+}
+
+func (m twoOptMove) Attribute() tabu.Attribute {
+	lo, hi := m.ci, m.cj
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return attribute(tagTwoOpt, lo, hi)
+}
+func (m twoOptMove) Operator() string { return "2-opt" }
+
+// TwoOptStar interchanges the tails of two routes: the first part of one
+// route continues with the second part of the other and vice versa. Cutting
+// at a route's end merges routes (and can free a vehicle).
+type TwoOptStar struct{}
+
+// Name implements Operator.
+func (TwoOptStar) Name() string { return "2-opt*" }
+
+type twoOptStarMove struct {
+	r1, p1 int // cut positions: route[:p] keeps, route[p:] swaps
+	r2, p2 int
+	a1, a2 int // customers adjacent to the new arcs, for the attribute
+}
+
+// Propose implements Operator.
+func (TwoOptStar) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	if len(s.Routes) < 2 {
+		return nil, false
+	}
+	for try := 0; try < proposeAttempts; try++ {
+		r1 := r.Intn(len(s.Routes))
+		r2 := r.Intn(len(s.Routes))
+		if r1 == r2 {
+			continue
+		}
+		a, b := s.Routes[r1], s.Routes[r2]
+		p1 := r.Intn(len(a) + 1)
+		p2 := r.Intn(len(b) + 1)
+		if p1 == 0 && p2 == 0 || p1 == len(a) && p2 == len(b) {
+			continue // relabels routes without changing the solution
+		}
+		load1 := prefixLoad(in, a, p1) + s.Load[r2] - prefixLoad(in, b, p2)
+		load2 := prefixLoad(in, b, p2) + s.Load[r1] - prefixLoad(in, a, p1)
+		if load1 > in.Capacity || load2 > in.Capacity {
+			continue
+		}
+		// New arcs: (a[p1-1] or depot) -> (b[p2] or depot) and vice versa.
+		tail1head := 0
+		if p2 < len(b) {
+			tail1head = b[p2]
+		}
+		tail2head := 0
+		if p1 < len(a) {
+			tail2head = a[p1]
+		}
+		if !arcOK(in, before(a, p1), tail1head) || !arcOK(in, before(b, p2), tail2head) {
+			continue
+		}
+		m := twoOptStarMove{r1: r1, p1: p1, r2: r2, p2: p2, a1: before(a, p1), a2: before(b, p2)}
+		return m, true
+	}
+	return nil, false
+}
+
+func prefixLoad(in *vrptw.Instance, route []int, p int) float64 {
+	var l float64
+	for _, c := range route[:p] {
+		l += in.Sites[c].Demand
+	}
+	return l
+}
+
+func (m twoOptStarMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	a, b := s.Routes[m.r1], s.Routes[m.r2]
+	na := concat(a[:m.p1], b[m.p2:])
+	nb := concat(b[:m.p2], a[m.p1:])
+	return s.WithRoutes(in, []int{m.r1, m.r2}, [][]int{na, nb})
+}
+
+func (m twoOptStarMove) Attribute() tabu.Attribute {
+	lo, hi := m.a1, m.a2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return attribute(tagTwoOptStar, lo, hi)
+}
+func (m twoOptStarMove) Operator() string { return "2-opt*" }
+
+// OrOpt moves two consecutive customers to a different place in the same
+// route.
+type OrOpt struct{}
+
+// Name implements Operator.
+func (OrOpt) Name() string { return "or-opt" }
+
+type orOptMove struct {
+	route  int
+	seg    int // segment start position (length 2)
+	dst    int // insertion position in the route with the segment removed
+	c1, c2 int
+}
+
+// Propose implements Operator.
+func (OrOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	for try := 0; try < proposeAttempts; try++ {
+		ri := r.Intn(len(s.Routes))
+		route := s.Routes[ri]
+		if len(route) < 3 {
+			continue
+		}
+		seg := r.Intn(len(route) - 1) // segment = route[seg], route[seg+1]
+		dst := r.Intn(len(route) - 1) // position in the len-2 remainder
+		if dst == seg {
+			continue // would reinsert in place
+		}
+		c1, c2 := route[seg], route[seg+1]
+		// Remainder after removing the segment.
+		rem := concat(route[:seg], route[seg+2:])
+		// Arcs created: gap closure and the two insertion arcs.
+		if !arcOK(in, before(route, seg), after(route, seg+1)) {
+			continue
+		}
+		if !arcOK(in, before(rem, dst), c1) {
+			continue
+		}
+		next := 0
+		if dst < len(rem) {
+			next = rem[dst]
+		}
+		if !arcOK(in, c2, next) {
+			continue
+		}
+		return orOptMove{route: ri, seg: seg, dst: dst, c1: c1, c2: c2}, true
+	}
+	return nil, false
+}
+
+func (m orOptMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
+	route := s.Routes[m.route]
+	rem := concat(route[:m.seg], route[m.seg+2:])
+	nr := concat(rem[:m.dst], []int{m.c1, m.c2}, rem[m.dst:])
+	return s.WithRoutes(in, []int{m.route}, [][]int{nr})
+}
+
+func (m orOptMove) Attribute() tabu.Attribute { return attribute(tagOrOpt, m.c1, m.c2) }
+func (m orOptMove) Operator() string          { return "or-opt" }
+
+// String implementations aid debugging and the trajectory tool.
+
+func (m relocateMove) String() string {
+	return fmt.Sprintf("relocate c%d r%d@%d -> r%d@%d", m.cust, m.from, m.fpos, m.to, m.tpos)
+}
+func (m exchangeMove) String() string {
+	return fmt.Sprintf("exchange c%d (r%d@%d) <-> c%d (r%d@%d)", m.c1, m.r1, m.p1, m.c2, m.r2, m.p2)
+}
+func (m twoOptMove) String() string {
+	return fmt.Sprintf("2-opt r%d [%d..%d]", m.route, m.i, m.j)
+}
+func (m twoOptStarMove) String() string {
+	return fmt.Sprintf("2-opt* r%d@%d x r%d@%d", m.r1, m.p1, m.r2, m.p2)
+}
+func (m orOptMove) String() string {
+	return fmt.Sprintf("or-opt r%d seg@%d -> %d", m.route, m.seg, m.dst)
+}

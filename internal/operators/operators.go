@@ -1,0 +1,180 @@
+// Package operators implements the five neighborhood operators of the
+// paper (§II.B): Relocate, Exchange, 2-opt, 2-opt* and Or-opt, each guarded
+// by the local feasibility criterion — a move is rejected when one of the
+// arcs it creates obviously violates a time window (earliest possible
+// departure from i plus travel already exceeds j's due date) or when a
+// route's demand would exceed the vehicle capacity. The criterion is weak
+// enough that tardy solutions still occur in the search trajectory and
+// strong enough that the search finds its way back to feasibility.
+//
+// A Generator draws moves from the operators with equal probability until
+// the requested neighborhood size is reached, re-drawing the operator when
+// a proposal fails (paper §III.B).
+package operators
+
+import (
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/tabu"
+	"repro/internal/vrptw"
+)
+
+// Move is a reified neighborhood move: it can be applied to the solution it
+// was proposed on (producing a new, evaluated solution) and carries a tabu
+// attribute identifying the operator and the customers it touches.
+type Move interface {
+	// Apply materializes the move on s, the same solution it was
+	// proposed on, returning a new evaluated solution. s is not
+	// modified.
+	Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution
+	// Attribute is the move's tabu identity.
+	Attribute() tabu.Attribute
+	// Operator names the operator that produced the move.
+	Operator() string
+}
+
+// Operator proposes random feasible moves on a solution.
+type Operator interface {
+	Name() string
+	// Propose attempts to generate one random move on s that passes
+	// the local feasibility criterion. It reports failure when it finds
+	// none within its internal attempt budget.
+	Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool)
+}
+
+// All returns fresh instances of the paper's five operators, in the order
+// Relocate, Exchange, 2-opt, 2-opt*, Or-opt.
+func All() []Operator {
+	return []Operator{Relocate{}, Exchange{}, TwoOpt{}, TwoOptStar{}, OrOpt{}}
+}
+
+// proposeAttempts bounds the internal retries of a single Propose call.
+const proposeAttempts = 30
+
+// Neighbor pairs a move with the evaluated solution it produces.
+type Neighbor struct {
+	Move Move
+	Sol  *solution.Solution
+}
+
+// Generator draws random moves on a solution from a set of operators with
+// equal probability. The zero value is unusable; construct with
+// NewGenerator.
+type Generator struct {
+	in  *vrptw.Instance
+	ops []Operator
+	// MaxFailures bounds the total number of failed proposals in one
+	// Neighborhood call, preventing livelock on solutions with very few
+	// feasible moves. Defaults to 50 failures per requested neighbor.
+	MaxFailures int
+}
+
+// NewGenerator returns a Generator over the given operators (All() if ops
+// is nil).
+func NewGenerator(in *vrptw.Instance, ops []Operator) *Generator {
+	if ops == nil {
+		ops = All()
+	}
+	return &Generator{in: in, ops: ops}
+}
+
+// Neighborhood proposes up to size moves on s and applies each one,
+// returning the evaluated neighbors. Fewer than size neighbors are
+// returned only when the failure budget is exhausted. Every returned
+// neighbor counts as one objective-function evaluation.
+func (g *Generator) Neighborhood(s *solution.Solution, r *rng.Rand, size int) []Neighbor {
+	moves := g.Moves(s, r, size)
+	out := make([]Neighbor, len(moves))
+	for i, m := range moves {
+		out[i] = Neighbor{Move: m, Sol: m.Apply(g.in, s)}
+	}
+	return out
+}
+
+// Moves proposes up to size moves on s without applying them. The async
+// master–worker variant ships moves to workers and lets them evaluate.
+func (g *Generator) Moves(s *solution.Solution, r *rng.Rand, size int) []Move {
+	budget := g.MaxFailures
+	if budget == 0 {
+		budget = 50 * size
+	}
+	moves := make([]Move, 0, size)
+	for len(moves) < size && budget > 0 {
+		op := g.ops[r.Intn(len(g.ops))]
+		if m, ok := op.Propose(g.in, s, r); ok {
+			moves = append(moves, m)
+		} else {
+			budget--
+		}
+	}
+	return moves
+}
+
+// departReady returns the earliest time a vehicle can leave site i: the
+// window start plus the service time (the depot has zero service).
+func departReady(in *vrptw.Instance, i int) float64 {
+	s := in.Sites[i]
+	return s.Ready + s.Service
+}
+
+// arcOK is the paper's local feasibility test for a newly created arc
+// i -> j: even departing i as early as possible, can j still be reached by
+// its due date? Arcs into the depot are always acceptable (a late return is
+// plain tardiness, not an obvious local violation).
+func arcOK(in *vrptw.Instance, i, j int) bool {
+	if j == 0 {
+		return true
+	}
+	return departReady(in, i)+in.Dist(i, j) <= in.Sites[j].Due
+}
+
+// before returns the site preceding position p of route (depot if p == 0).
+func before(route []int, p int) int {
+	if p == 0 {
+		return 0
+	}
+	return route[p-1]
+}
+
+// after returns the site following position p of route (depot if p is the
+// last position).
+func after(route []int, p int) int {
+	if p == len(route)-1 {
+		return 0
+	}
+	return route[p+1]
+}
+
+// attribute mixes an operator tag and up to two customer IDs into a tabu
+// attribute (splitmix64 finalizer).
+func attribute(op uint64, a, b int) tabu.Attribute {
+	x := op<<56 ^ uint64(uint32(a))<<24 ^ uint64(uint32(b))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return tabu.Attribute(x)
+}
+
+// Operator tags used in attributes.
+const (
+	tagRelocate = iota + 1
+	tagExchange
+	tagTwoOpt
+	tagTwoOptStar
+	tagOrOpt
+)
+
+// concat builds a fresh route from the given segments.
+func concat(segs ...[]int) []int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	out := make([]int, 0, n)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}

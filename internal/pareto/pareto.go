@@ -1,0 +1,193 @@
+// Package pareto provides the non-dominated stores used by the TSMO
+// algorithm: a bounded Archive (the paper's M_archive, capacity 20 in the
+// experiments) and, via a larger capacity, the medium-term memory M_nondom.
+// When a full archive accepts a new non-dominated solution, the most
+// crowded member — measured by the NSGA-II crowding distance — is evicted,
+// spreading the stored front evenly (paper §III.B).
+package pareto
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/solution"
+)
+
+// Archive is a bounded store of mutually non-dominated solutions.
+// The zero value is unusable; construct with NewArchive.
+type Archive struct {
+	capacity int
+	items    []*solution.Solution
+}
+
+// NewArchive returns an empty archive holding at most capacity solutions.
+// It panics if capacity < 1.
+func NewArchive(capacity int) *Archive {
+	if capacity < 1 {
+		panic("pareto: archive capacity must be >= 1")
+	}
+	return &Archive{capacity: capacity}
+}
+
+// Len returns the number of stored solutions.
+func (a *Archive) Len() int { return len(a.items) }
+
+// Capacity returns the maximum number of stored solutions.
+func (a *Archive) Capacity() int { return a.capacity }
+
+// Items returns the stored solutions. The returned slice is owned by the
+// archive; callers must not modify it.
+func (a *Archive) Items() []*solution.Solution { return a.items }
+
+// Snapshot returns a copy of the stored solution list, safe to keep across
+// further archive updates.
+func (a *Archive) Snapshot() []*solution.Solution {
+	return append([]*solution.Solution(nil), a.items...)
+}
+
+// Add offers s to the archive. It is rejected if any member weakly
+// dominates it (this includes exact objective duplicates). Otherwise the
+// members it dominates are removed, s is inserted, and if the archive then
+// exceeds its capacity the member with the smallest crowding distance is
+// evicted. Add reports whether s is in the archive afterwards — the
+// paper's notion of an "improving" solution.
+func (a *Archive) Add(s *solution.Solution) bool {
+	for _, m := range a.items {
+		if m.Obj.WeaklyDominates(s.Obj) {
+			return false
+		}
+	}
+	w := 0
+	for _, m := range a.items {
+		if !s.Obj.Dominates(m.Obj) {
+			a.items[w] = m
+			w++
+		}
+	}
+	a.items = a.items[:w]
+	a.items = append(a.items, s)
+	if len(a.items) <= a.capacity {
+		return true
+	}
+	// Evict the most crowded member.
+	d := CrowdingDistances(objectives(a.items))
+	victim := 0
+	for i := 1; i < len(d); i++ {
+		if d[i] < d[victim] {
+			victim = i
+		}
+	}
+	evicted := a.items[victim]
+	a.items[victim] = a.items[len(a.items)-1]
+	a.items = a.items[:len(a.items)-1]
+	return evicted != s
+}
+
+// WouldImprove reports whether Add(s) would currently accept s, without
+// modifying the archive. Used for the aspiration criterion and by the
+// asynchronous master to classify late results.
+func (a *Archive) WouldImprove(s *solution.Solution) bool {
+	for _, m := range a.items {
+		if m.Obj.WeaklyDominates(s.Obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// Random returns a uniformly chosen member, or nil if the archive is empty.
+func (a *Archive) Random(r *rng.Rand) *solution.Solution {
+	if len(a.items) == 0 {
+		return nil
+	}
+	return a.items[r.Intn(len(a.items))]
+}
+
+// TakeRandom removes and returns a uniformly chosen member, or nil if the
+// archive is empty. The paper's restart step consumes solutions from the
+// medium-term memory this way.
+func (a *Archive) TakeRandom(r *rng.Rand) *solution.Solution {
+	if len(a.items) == 0 {
+		return nil
+	}
+	i := r.Intn(len(a.items))
+	s := a.items[i]
+	a.items[i] = a.items[len(a.items)-1]
+	a.items = a.items[:len(a.items)-1]
+	return s
+}
+
+// Clear removes all members.
+func (a *Archive) Clear() { a.items = a.items[:0] }
+
+func objectives(items []*solution.Solution) []solution.Objectives {
+	objs := make([]solution.Objectives, len(items))
+	for i, s := range items {
+		objs[i] = s.Obj
+	}
+	return objs
+}
+
+// CrowdingDistances computes the NSGA-II crowding distance of every
+// objective vector: boundary points per objective get +Inf, interior
+// points accumulate the normalized gap between their neighbors. Larger
+// means less crowded.
+func CrowdingDistances(objs []solution.Objectives) []float64 {
+	n := len(objs)
+	d := make([]float64, n)
+	if n <= 2 {
+		for i := range d {
+			d[i] = math.Inf(1)
+		}
+		return d
+	}
+	idx := make([]int, n)
+	for m := 0; m < 3; m++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		val := func(i int) float64 { return objs[i].Values()[m] }
+		sort.Slice(idx, func(a, b int) bool { return val(idx[a]) < val(idx[b]) })
+		lo, hi := val(idx[0]), val(idx[n-1])
+		d[idx[0]] = math.Inf(1)
+		d[idx[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			d[idx[k]] += (val(idx[k+1]) - val(idx[k-1])) / (hi - lo)
+		}
+	}
+	return d
+}
+
+// NondominatedIndices returns the indices of the objective vectors not
+// dominated by any other vector in objs (duplicates are all kept).
+func NondominatedIndices(objs []solution.Objectives) []int {
+	var out []int
+	for i, oi := range objs {
+		dominated := false
+		for j, oj := range objs {
+			if i != j && oj.Dominates(oi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Merge adds every item of src into dst and reports how many were accepted.
+func Merge(dst *Archive, src []*solution.Solution) int {
+	n := 0
+	for _, s := range src {
+		if dst.Add(s) {
+			n++
+		}
+	}
+	return n
+}

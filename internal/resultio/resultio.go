@@ -1,0 +1,84 @@
+// Package resultio defines the JSON result-file format shared by the
+// command-line tools: cmd/tsmo writes fronts, cmd/coverage compares them.
+package resultio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/solution"
+)
+
+// SolutionRecord is one front member.
+type SolutionRecord struct {
+	Distance  float64 `json:"distance"`
+	Vehicles  float64 `json:"vehicles"`
+	Tardiness float64 `json:"tardiness"`
+	Routes    [][]int `json:"routes,omitempty"`
+}
+
+// FrontFile is a persisted run result.
+type FrontFile struct {
+	Instance    string           `json:"instance"`
+	Algorithm   string           `json:"algorithm"`
+	Processors  int              `json:"processors"`
+	Evaluations int              `json:"evaluations"`
+	Elapsed     float64          `json:"elapsed_seconds"`
+	Solutions   []SolutionRecord `json:"solutions"`
+}
+
+// FromResult converts a run result into the persisted form. withRoutes
+// controls whether full routes are stored (large for big instances).
+func FromResult(instance string, res *core.Result, withRoutes bool) *FrontFile {
+	f := &FrontFile{
+		Instance:    instance,
+		Algorithm:   res.Algorithm.String(),
+		Processors:  res.Processors,
+		Evaluations: res.Evaluations,
+		Elapsed:     res.Elapsed,
+	}
+	for _, s := range res.Front {
+		rec := SolutionRecord{
+			Distance:  s.Obj.Distance,
+			Vehicles:  s.Obj.Vehicles,
+			Tardiness: s.Obj.Tardiness,
+		}
+		if withRoutes {
+			rec.Routes = s.Routes
+		}
+		f.Solutions = append(f.Solutions, rec)
+	}
+	return f
+}
+
+// Objectives returns the stored objective vectors; feasibleOnly drops
+// time-window violators.
+func (f *FrontFile) Objectives(feasibleOnly bool) []solution.Objectives {
+	var out []solution.Objectives
+	for _, s := range f.Solutions {
+		o := solution.Objectives{Distance: s.Distance, Vehicles: s.Vehicles, Tardiness: s.Tardiness}
+		if feasibleOnly && !o.Feasible() {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// Write encodes the file as indented JSON.
+func Write(w io.Writer, f *FrontFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read decodes a result file.
+func Read(r io.Reader) (*FrontFile, error) {
+	var f FrontFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("resultio: decoding result file: %w", err)
+	}
+	return &f, nil
+}

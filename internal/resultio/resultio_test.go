@@ -1,0 +1,75 @@
+package resultio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solution"
+)
+
+func sampleResult() *core.Result {
+	return &core.Result{
+		Algorithm:   core.Asynchronous,
+		Processors:  3,
+		Evaluations: 1000,
+		Elapsed:     12.5,
+		Front: []*solution.Solution{
+			{Obj: solution.Objectives{Distance: 100, Vehicles: 5, Tardiness: 0}, Routes: [][]int{{1, 2}, {3}}},
+			{Obj: solution.Objectives{Distance: 90, Vehicles: 6, Tardiness: 2}, Routes: [][]int{{1}, {2}, {3}}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := FromResult("R1-test", sampleResult(), true)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Instance != "R1-test" || back.Algorithm != "asynchronous" || back.Processors != 3 {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if len(back.Solutions) != 2 {
+		t.Fatalf("got %d solutions, want 2", len(back.Solutions))
+	}
+	if back.Solutions[0].Routes == nil {
+		t.Error("routes not persisted")
+	}
+	if back.Elapsed != 12.5 || back.Evaluations != 1000 {
+		t.Error("run metadata lost")
+	}
+}
+
+func TestWithoutRoutes(t *testing.T) {
+	f := FromResult("x", sampleResult(), false)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "routes") {
+		t.Error("routes serialized despite withRoutes=false")
+	}
+}
+
+func TestObjectivesFiltering(t *testing.T) {
+	f := FromResult("x", sampleResult(), false)
+	if got := len(f.Objectives(false)); got != 2 {
+		t.Errorf("all objectives: %d, want 2", got)
+	}
+	feas := f.Objectives(true)
+	if len(feas) != 1 || feas[0].Distance != 100 {
+		t.Errorf("feasible objectives wrong: %v", feas)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

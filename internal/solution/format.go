@@ -1,0 +1,42 @@
+package solution
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/vrptw"
+)
+
+// WriteRoutes renders a human-readable route sheet for s: one block per
+// vehicle with per-stop arrival/service times, window bounds and lateness
+// markers, plus route and solution totals. It is what cmd/tsmo -routes
+// prints for dispatchers.
+func WriteRoutes(w io.Writer, in *vrptw.Instance, s *Solution) error {
+	for i, route := range s.Routes {
+		starts, back := Schedule(in, route)
+		fmt.Fprintf(w, "vehicle %d: %d stops, load %.0f/%.0f, distance %.2f",
+			i+1, len(route), s.Load[i], in.Capacity, s.Dist[i])
+		if s.Tard[i] > 0 {
+			fmt.Fprintf(w, ", TARDY %.2f", s.Tard[i])
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  %8s %10s %10s %10s %8s\n", "customer", "window", "", "service", "late")
+		for k, c := range route {
+			site := in.Sites[c]
+			late := ""
+			if starts[k] > site.Due {
+				late = fmt.Sprintf("%+.1f", starts[k]-site.Due)
+			}
+			fmt.Fprintf(w, "  %8d [%8.1f, %8.1f] %10.1f %8s\n",
+				c, site.Ready, site.Due, starts[k], late)
+		}
+		lateBack := ""
+		if back > in.Horizon() {
+			lateBack = fmt.Sprintf("  (%+.1f late)", back-in.Horizon())
+		}
+		fmt.Fprintf(w, "  %8s %23s %10.1f%s\n", "depot", "", back, lateBack)
+	}
+	_, err := fmt.Fprintf(w, "total: %.2f distance, %.0f vehicles, %.2f tardiness\n",
+		s.Obj.Distance, s.Obj.Vehicles, s.Obj.Tardiness)
+	return err
+}

@@ -1,0 +1,53 @@
+package solution
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vrptw"
+)
+
+func TestWriteRoutes(t *testing.T) {
+	in := testInstance(t)
+	s := New(in, roundRobin(in.N(), 3))
+	var buf bytes.Buffer
+	if err := WriteRoutes(&buf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vehicle 1:", "vehicle 3:", "depot", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("route sheet missing %q", want)
+		}
+	}
+	if strings.Count(out, "stops,") != 3 {
+		t.Errorf("expected 3 vehicle blocks")
+	}
+}
+
+func TestWriteRoutesMarksTardiness(t *testing.T) {
+	sites := []vrptw.Site{
+		{ID: 0, X: 0, Y: 0, Ready: 0, Due: 15},
+		{ID: 1, X: 10, Y: 0, Demand: 1, Ready: 0, Due: 5, Service: 1},
+	}
+	in, err := vrptw.New("tardy", sites, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(in, [][]int{{1}})
+	var buf bytes.Buffer
+	if err := WriteRoutes(&buf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TARDY") {
+		t.Error("tardy route not marked")
+	}
+	if !strings.Contains(out, "+5.0") {
+		t.Errorf("per-stop lateness missing:\n%s", out)
+	}
+	if !strings.Contains(out, "late)") {
+		t.Error("late depot return not marked")
+	}
+}

@@ -1,0 +1,75 @@
+// Package tabu implements the short-term memory of Tabu Search: a FIFO
+// list of move attributes with a fixed tenure. A move whose attribute is
+// still in the list is forbidden; once tenure further moves have been made,
+// the list forgets it (paper §III.B: one move per iteration, so the tenure
+// equals the number of iterations an attribute stays tabu).
+package tabu
+
+// Attribute identifies a move for tabu purposes. The operators package
+// hashes the operator kind and the customers a move touches into one value,
+// so re-touching the same customers with the same operator is forbidden
+// regardless of route indices.
+type Attribute uint64
+
+// List is a fixed-tenure tabu list. The zero value is unusable; construct
+// with NewList. It is not safe for concurrent use; each searcher owns one.
+type List struct {
+	tenure int
+	queue  []Attribute
+	counts map[Attribute]int // multiset view of queue for O(1) lookup
+}
+
+// NewList returns an empty tabu list with the given tenure.
+// It panics if tenure < 1.
+func NewList(tenure int) *List {
+	if tenure < 1 {
+		panic("tabu: tenure must be >= 1")
+	}
+	return &List{tenure: tenure, counts: make(map[Attribute]int, tenure)}
+}
+
+// Tenure returns the current tenure.
+func (l *List) Tenure() int { return l.tenure }
+
+// SetTenure changes the tenure; if the list shrinks, the oldest entries are
+// forgotten immediately. The collaborative multisearch perturbs tenures
+// per searcher through this. It panics if tenure < 1.
+func (l *List) SetTenure(tenure int) {
+	if tenure < 1 {
+		panic("tabu: tenure must be >= 1")
+	}
+	l.tenure = tenure
+	l.trim()
+}
+
+// Len returns the number of remembered attributes.
+func (l *List) Len() int { return len(l.queue) }
+
+// Add remembers a move attribute, forgetting the oldest entry if the list
+// is full.
+func (l *List) Add(a Attribute) {
+	l.queue = append(l.queue, a)
+	l.counts[a]++
+	l.trim()
+}
+
+func (l *List) trim() {
+	for len(l.queue) > l.tenure {
+		old := l.queue[0]
+		l.queue = l.queue[1:]
+		if l.counts[old] == 1 {
+			delete(l.counts, old)
+		} else {
+			l.counts[old]--
+		}
+	}
+}
+
+// Contains reports whether the attribute is currently tabu.
+func (l *List) Contains(a Attribute) bool { return l.counts[a] > 0 }
+
+// Clear forgets everything.
+func (l *List) Clear() {
+	l.queue = l.queue[:0]
+	clear(l.counts)
+}

@@ -1,0 +1,155 @@
+// Package viz renders simple ASCII scatter plots for the command-line
+// tools: objective-space fronts and the Figure-1 trajectory. It has no
+// dependencies and degrades gracefully on any terminal.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one glyph-coded point set.
+type Series struct {
+	Name  string
+	Glyph byte
+	X, Y  []float64
+}
+
+// Scatter is an ASCII scatter-plot canvas. Zero values get sensible
+// defaults (72×24 with empty labels).
+type Scatter struct {
+	Width, Height  int
+	XLabel, YLabel string
+}
+
+// Render draws the series onto w. Later series overdraw earlier ones where
+// cells collide. An error is returned only on write failure; empty input
+// renders an empty frame.
+func (s *Scatter) Render(w io.Writer, series []Series) error {
+	width, height := s.Width, s.Height
+	if width < 16 {
+		width = 72
+	}
+	if height < 8 {
+		height = 24
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, sr := range series {
+		n := len(sr.X)
+		if len(sr.Y) < n {
+			n = len(sr.Y)
+		}
+		for i := 0; i < n; i++ {
+			xmin = math.Min(xmin, sr.X[i])
+			xmax = math.Max(xmax, sr.X[i])
+			ymin = math.Min(ymin, sr.Y[i])
+			ymax = math.Max(ymax, sr.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, sr := range series {
+		glyph := sr.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		n := len(sr.X)
+		if len(sr.Y) < n {
+			n = len(sr.Y)
+		}
+		for i := 0; i < n; i++ {
+			c := int(math.Round((sr.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			r := height - 1 - int(math.Round((sr.Y[i]-ymin)/(ymax-ymin)*float64(height-1)))
+			grid[clampInt(r, 0, height-1)][clampInt(c, 0, width-1)] = glyph
+		}
+	}
+
+	if s.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", s.YLabel); err != nil {
+			return err
+		}
+	}
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmtShort(ymax)
+		case height - 1:
+			label = fmtShort(ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-*s%s\n", "", width-len(fmtShort(xmax)), fmtShort(xmin), fmtShort(xmax)); err != nil {
+		return err
+	}
+	if s.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10s  %s\n", "", s.XLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for _, sr := range series {
+		glyph := sr.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		if sr.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c %s", glyph, sr.Name))
+		}
+	}
+	if len(legend) > 0 {
+		if _, err := fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "   ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// fmtShort formats an axis bound compactly.
+func fmtShort(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

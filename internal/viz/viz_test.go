@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Scatter{Width: 40, Height: 10, XLabel: "distance", YLabel: "vehicles"}
+	err := s.Render(&buf, []Series{
+		{Name: "front", Glyph: 'o', X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+		{Name: "other", Glyph: 'x', X: []float64{1.5}, Y: []float64{1.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"o", "x", "distance", "vehicles", "o front", "x other"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("expected >= 12 lines, got %d", len(lines))
+	}
+}
+
+func TestRenderCorners(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Scatter{Width: 20, Height: 9}
+	err := s.Render(&buf, []Series{{Glyph: '#', X: []float64{0, 10}, Y: []float64{0, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Top row holds the max-Y point, bottom plot row the min-Y point.
+	if !strings.Contains(lines[0], "#") {
+		t.Error("max point not on the top row")
+	}
+	if !strings.Contains(lines[8], "#") {
+		t.Error("min point not on the bottom row")
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Scatter{}
+	if err := s.Render(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty input should still render a frame")
+	}
+	buf.Reset()
+	// All points identical: ranges must not divide by zero.
+	if err := s.Render(&buf, []Series{{X: []float64{5, 5}, Y: []float64{2, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("default glyph missing")
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Scatter{Width: 20, Height: 8}
+	// Y shorter than X: extra X values are ignored, no panic.
+	if err := s.Render(&buf, []Series{{X: []float64{1, 2, 3}, Y: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtShort(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		25000:   "25k",
+		250:     "250",
+		3:       "3",
+		0.5:     "0.50",
+	}
+	for v, want := range cases {
+		if got := fmtShort(v); got != want {
+			t.Errorf("fmtShort(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

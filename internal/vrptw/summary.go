@@ -1,0 +1,109 @@
+package vrptw
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of an instance, for comparing
+// generated instances against published benchmark files (window tightness,
+// demand profile, spatial structure).
+type Summary struct {
+	Name       string
+	N          int
+	Vehicles   int
+	Capacity   float64
+	Horizon    float64
+	TotalDem   float64
+	MeanDemand float64
+	// MeanWindow and MedianWindow describe time-window widths.
+	MeanWindow, MedianWindow float64
+	// Tightness is the mean window width divided by the horizon; small
+	// values mean a type-1-like, tightly constrained instance.
+	Tightness float64
+	// MeanService is the mean service duration.
+	MeanService float64
+	// MeanNN is the mean nearest-neighbor distance between customers; a
+	// low value relative to the depot spread indicates clustering.
+	MeanNN float64
+	// DepotSpread is the mean customer distance from the depot.
+	DepotSpread float64
+	// MinVehicles is the capacity lower bound on the fleet.
+	MinVehicles int
+}
+
+// Summarize computes the instance's descriptive statistics.
+func Summarize(in *Instance) Summary {
+	s := Summary{
+		Name:        in.Name,
+		N:           in.N(),
+		Vehicles:    in.Vehicles,
+		Capacity:    in.Capacity,
+		Horizon:     in.Horizon(),
+		TotalDem:    in.TotalDemand(),
+		MinVehicles: in.MinVehicles(),
+	}
+	n := in.N()
+	if n == 0 {
+		return s
+	}
+	widths := make([]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		site := in.Sites[i]
+		widths = append(widths, site.Due-site.Ready)
+		s.MeanService += site.Service
+		s.DepotSpread += in.Dist(0, i)
+		best := math.Inf(1)
+		for j := 1; j <= n; j++ {
+			if i != j && in.Dist(i, j) < best {
+				best = in.Dist(i, j)
+			}
+		}
+		if !math.IsInf(best, 1) {
+			s.MeanNN += best
+		}
+	}
+	s.MeanDemand = s.TotalDem / float64(n)
+	s.MeanService /= float64(n)
+	s.DepotSpread /= float64(n)
+	if n > 1 {
+		s.MeanNN /= float64(n)
+	} else {
+		s.MeanNN = 0
+	}
+	for _, w := range widths {
+		s.MeanWindow += w
+	}
+	s.MeanWindow /= float64(n)
+	sort.Float64s(widths)
+	s.MedianWindow = widths[n/2]
+	if s.Horizon > 0 {
+		s.Tightness = s.MeanWindow / s.Horizon
+	}
+	return s
+}
+
+// Write renders the summary as an aligned text block.
+func (s Summary) Write(w io.Writer) error {
+	rows := []struct {
+		label string
+		value string
+	}{
+		{"instance", s.Name},
+		{"customers", fmt.Sprintf("%d", s.N)},
+		{"fleet", fmt.Sprintf("%d x %.0f (capacity bound %d)", s.Vehicles, s.Capacity, s.MinVehicles)},
+		{"horizon", fmt.Sprintf("%.1f", s.Horizon)},
+		{"demand", fmt.Sprintf("total %.0f, mean %.1f", s.TotalDem, s.MeanDemand)},
+		{"windows", fmt.Sprintf("mean %.1f, median %.1f (tightness %.3f)", s.MeanWindow, s.MedianWindow, s.Tightness)},
+		{"service", fmt.Sprintf("mean %.1f", s.MeanService)},
+		{"geometry", fmt.Sprintf("mean NN %.2f, depot spread %.2f", s.MeanNN, s.DepotSpread)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-10s %s\n", r.label, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

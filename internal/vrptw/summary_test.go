@@ -1,0 +1,70 @@
+package vrptw
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeClassesDiffer(t *testing.T) {
+	gen := func(c Class) Summary {
+		in, err := Generate(GenConfig{Class: c, N: 100, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(in)
+	}
+	r1, r2 := gen(R1), gen(R2)
+	c1 := gen(C1)
+
+	// Type-1 classes must be tighter than type-2.
+	if r1.Tightness >= r2.Tightness {
+		t.Errorf("R1 tightness %.3f not below R2 %.3f", r1.Tightness, r2.Tightness)
+	}
+	// Clustered geometry shows in the nearest-neighbor distance.
+	if c1.MeanNN >= r1.MeanNN {
+		t.Errorf("C1 mean NN %.2f not below R1 %.2f", c1.MeanNN, r1.MeanNN)
+	}
+	// Clustered classes carry the long Solomon service time.
+	if c1.MeanService <= r1.MeanService {
+		t.Errorf("C1 service %.1f not above R1 %.1f", c1.MeanService, r1.MeanService)
+	}
+	if r1.N != 100 || r1.MinVehicles < 1 {
+		t.Errorf("basic fields wrong: %+v", r1)
+	}
+}
+
+func TestSummaryWrite(t *testing.T) {
+	in, err := Generate(GenConfig{Class: RC1, N: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Summarize(in).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"instance", "customers", "fleet", "windows", "geometry"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeSingleCustomer(t *testing.T) {
+	sites := []Site{
+		{ID: 0, X: 0, Y: 0, Ready: 0, Due: 100},
+		{ID: 1, X: 3, Y: 4, Demand: 5, Ready: 10, Due: 60, Service: 2},
+	}
+	in, err := New("one", sites, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(in)
+	if s.MeanNN != 0 {
+		t.Errorf("single customer should have MeanNN 0, got %g", s.MeanNN)
+	}
+	if s.MeanWindow != 50 || s.DepotSpread != 5 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+}
