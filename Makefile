@@ -1,0 +1,25 @@
+# Developer verify loop. `make verify` is the full gate a change must pass:
+# build, vet, the complete test suite, and the race detector over the
+# concurrency-heavy packages (the search core and the process simulator).
+
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/deme/...
+
+# bench refreshes BENCH_delta.json via scripts/bench.sh.
+bench:
+	./scripts/bench.sh
+
+verify: build vet test race

@@ -110,7 +110,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			}
 			c2 := false
 			for i := range pending {
-				if pending[i].sol.Obj.Dominates(s.cur.Obj) {
+				if pending[i].obj.Dominates(s.cur.Obj) {
 					c2 = true
 					break
 				}

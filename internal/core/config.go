@@ -90,11 +90,14 @@ func DefaultCostModel() CostModel {
 }
 
 // evalCost returns the modeled cost of producing and evaluating one
-// candidate with the given solution shape.
-func (c *CostModel) evalCost(in *vrptw.Instance, s *solution.Solution) float64 {
+// candidate deploying the given number of routes. The model charges the
+// paper's full-materialization price regardless of how the candidate was
+// actually evaluated, keeping Sim-backend timings reproducible across the
+// delta-evaluation refactor.
+func (c *CostModel) evalCost(in *vrptw.Instance, routes int) float64 {
 	meanRoute := float64(in.N())
-	if len(s.Routes) > 0 {
-		meanRoute /= float64(len(s.Routes))
+	if routes > 0 {
+		meanRoute /= float64(routes)
 	}
 	return c.EvalBase + c.EvalPerCustomer*float64(in.N()) + c.EvalPerRouteCustomer*2*meanRoute
 }

@@ -13,14 +13,29 @@ import (
 	"repro/internal/vrptw"
 )
 
-// cand is one evaluated candidate: a neighbor solution tagged with the tabu
-// identity of the move that produced it and the iteration it was born in
-// (for the asynchronous variant and the trajectory of Figure 1).
+// cand is one delta-evaluated candidate: a move tagged with the objectives
+// of the solution it would produce, the solution it was proposed on, its
+// tabu identity and the iteration it was born in (for the asynchronous
+// variant and the trajectory of Figure 1). The full solution is only
+// materialized — via materialize — when the candidate is selected as the
+// next current solution or enters one of the memories.
 type cand struct {
-	sol  *solution.Solution
+	move operators.Move      // nil only for pre-materialized test candidates
+	base *solution.Solution  // the solution move was proposed on
+	obj  solution.Objectives // delta-evaluated objectives of the result
+	sol  *solution.Solution  // materialized lazily; nil until needed
 	attr tabu.Attribute
 	op   string
 	born int
+}
+
+// materialize returns the candidate's solution, applying the move on first
+// use and caching the result.
+func (c *cand) materialize(in *vrptw.Instance) *solution.Solution {
+	if c.sol == nil {
+		c.sol = c.move.Apply(in, c.base)
+	}
+	return c.sol
 }
 
 // searcher bundles the state of the paper's Algorithm 1: the current
@@ -138,15 +153,23 @@ func (s *searcher) init(p deme.Proc) {
 	}
 }
 
-// generate draws and evaluates up to n neighbors of the current solution,
-// charging their modeled cost to p.
+// generate draws and delta-evaluates up to n neighbors of the current
+// solution, charging their modeled cost to p. The candidates carry
+// objectives only; no neighbor solution is materialized here.
 func (s *searcher) generate(p deme.Proc, n int) []cand {
-	nbh := s.gen.Neighborhood(s.cur, s.r, n)
-	cands := make([]cand, len(nbh))
+	cs := s.gen.Candidates(s.cur, s.r, n)
+	cands := make([]cand, len(cs))
 	var cost float64
-	for i, nb := range nbh {
-		cands[i] = cand{sol: nb.Sol, attr: nb.Move.Attribute(), op: nb.Move.Operator(), born: s.iter}
-		cost += s.cfg.Cost.evalCost(s.in, nb.Sol)
+	for i, c := range cs {
+		cands[i] = cand{
+			move: c.Move,
+			base: s.cur,
+			obj:  c.Obj,
+			attr: c.Move.Attribute(),
+			op:   c.Move.Operator(),
+			born: s.iter,
+		}
+		cost += s.cfg.Cost.evalCost(s.in, int(c.Obj.Vehicles))
 	}
 	p.Compute(cost)
 	s.evals += len(cands)
@@ -160,10 +183,13 @@ func (s *searcher) generate(p deme.Proc, n int) []cand {
 func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	p.Compute(s.cfg.Cost.OverheadPerNeighbor * float64(len(cands)))
 
-	sel := s.selectCand(cands)
+	// The candidate set's non-dominated indices feed both the selection
+	// and the M_nondom update; compute them once.
+	nd := nondomIndices(cands)
+	sel := s.selectCand(cands, nd)
 	if s.rec != nil {
 		for i := range cands {
-			s.rec.add(s.iter+1, cands[i].born, cands[i].sol.Obj, false)
+			s.rec.add(s.iter+1, cands[i].born, cands[i].obj, false)
 		}
 	}
 	if sel < 0 || s.noImprovement {
@@ -172,7 +198,7 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 		s.restart()
 		s.noImprovement = false
 	} else {
-		s.cur = cands[sel].sol
+		s.cur = cands[sel].materialize(s.in)
 		s.tl.Add(cands[sel].attr)
 	}
 	if s.rec != nil {
@@ -180,14 +206,13 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	}
 
 	// Update memories: non-dominated neighbors enter M_nondom, the
-	// chosen current solution is offered to the archive.
+	// chosen current solution is offered to the archive. Candidates the
+	// memory would reject anyway are never materialized.
 	improved := false
-	objs := make([]solution.Objectives, len(cands))
-	for i := range cands {
-		objs[i] = cands[i].sol.Obj
-	}
-	for _, i := range pareto.NondominatedIndices(objs) {
-		s.nondom.Add(cands[i].sol)
+	for _, i := range nd {
+		if s.nondom.WouldAccept(cands[i].obj) {
+			s.nondom.Add(cands[i].materialize(s.in))
+		}
 	}
 	if s.archive.Add(s.cur) {
 		improved = true
@@ -206,23 +231,32 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	return improved
 }
 
-// selectCand picks the next current solution from the candidate set: among
-// the candidates non-dominated within the set and not forbidden by the tabu
-// list (with archive-entry aspiration), it prefers one that dominates the
-// current solution and otherwise draws uniformly. It returns -1 when every
-// candidate is unavailable — the paper's "s not in N" restart trigger.
-func (s *searcher) selectCand(cands []cand) int {
+// nondomIndices returns the indices of the candidates whose objectives are
+// non-dominated within the set.
+func nondomIndices(cands []cand) []int {
 	if len(cands) == 0 {
-		return -1
+		return nil
 	}
 	objs := make([]solution.Objectives, len(cands))
 	for i := range cands {
-		objs[i] = cands[i].sol.Obj
+		objs[i] = cands[i].obj
 	}
-	nd := pareto.NondominatedIndices(objs)
-	allowed := nd[:0]
+	return pareto.NondominatedIndices(objs)
+}
+
+// selectCand picks the next current solution from the candidate set: among
+// the candidates non-dominated within the set (nd, as computed by
+// nondomIndices) and not forbidden by the tabu list (with archive-entry
+// aspiration), it prefers one that dominates the current solution and
+// otherwise draws uniformly. It returns -1 when every candidate is
+// unavailable — the paper's "s not in N" restart trigger.
+func (s *searcher) selectCand(cands []cand, nd []int) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	allowed := make([]int, 0, len(nd))
 	for _, i := range nd {
-		aspires := !s.cfg.DisableAspiration && s.archive.WouldImprove(cands[i].sol)
+		aspires := !s.cfg.DisableAspiration && s.archive.WouldAccept(cands[i].obj)
 		if !s.tl.Contains(cands[i].attr) || aspires {
 			allowed = append(allowed, i)
 		}
@@ -232,7 +266,7 @@ func (s *searcher) selectCand(cands []cand) int {
 	}
 	var dominating []int
 	for _, i := range allowed {
-		if cands[i].sol.Obj.Dominates(s.cur.Obj) {
+		if cands[i].obj.Dominates(s.cur.Obj) {
 			dominating = append(dominating, i)
 		}
 	}

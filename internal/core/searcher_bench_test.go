@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vrptw"
+)
+
+// benchSearcher builds a searcher on a 400-customer instance with the
+// paper's neighborhood size and an effectively unlimited budget.
+func benchSearcher(b *testing.B) (*searcher, *stubProc, int) {
+	b.Helper()
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 1 << 60
+	if err := cfg.validate(in, Sequential); err != nil {
+		b.Fatal(err)
+	}
+	s := newSearcher(in, &cfg, rng.New(1), 0, 0, 0)
+	p := &stubProc{}
+	s.init(p)
+	return s, p, cfg.NeighborhoodSize
+}
+
+// BenchmarkSearcherIteration measures one full generate+step iteration on
+// the delta-evaluation path: candidates carry objectives only and the
+// searcher materializes just the selected solution and the memory-bound
+// non-dominated entries.
+func BenchmarkSearcherIteration(b *testing.B) {
+	s, p, size := benchSearcher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(p, s.generate(p, size))
+	}
+}
+
+// BenchmarkSearcherIterationMaterialized replays the pre-delta iteration:
+// every neighbor is fully materialized before selection, as the search did
+// before the schedule-cache refactor. Kept as the benchmark baseline.
+func BenchmarkSearcherIterationMaterialized(b *testing.B) {
+	s, p, size := benchSearcher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nbh := s.gen.Neighborhood(s.cur, s.r, size)
+		cands := make([]cand, len(nbh))
+		for j, nb := range nbh {
+			cands[j] = cand{
+				move: nb.Move,
+				base: s.cur,
+				obj:  nb.Sol.Obj,
+				sol:  nb.Sol,
+				attr: nb.Move.Attribute(),
+				op:   nb.Move.Operator(),
+				born: s.iter,
+			}
+		}
+		s.evals += len(cands)
+		s.step(p, cands)
+	}
+}
+
+// TestStepMaterializesLazily asserts the lazy-materialization contract: a
+// step over a full neighborhood must apply only a small fraction of the
+// candidate moves (the selected one plus memory-accepted non-dominated
+// entries), not all of them.
+func TestStepMaterializesLazily(t *testing.T) {
+	in := testInstance(t, 60)
+	cfg := smallConfig()
+	if err := cfg.validate(in, Sequential); err != nil {
+		t.Fatal(err)
+	}
+	s := newSearcher(in, &cfg, rng.New(3), 0, 0, 0)
+	p := &stubProc{}
+	s.init(p)
+	total, applied := 0, 0
+	for iter := 0; iter < 10; iter++ {
+		cands := s.generate(p, cfg.NeighborhoodSize)
+		s.step(p, cands)
+		total += len(cands)
+		for i := range cands {
+			if cands[i].sol != nil {
+				applied++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no candidates generated")
+	}
+	if applied*2 >= total {
+		t.Fatalf("step materialized %d of %d candidates; expected a small fraction", applied, total)
+	}
+}

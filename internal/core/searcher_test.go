@@ -25,8 +25,10 @@ func (s *stubProc) Recv() (deme.Message, bool)               { return deme.Messa
 func (s *stubProc) RecvTimeout(float64) (deme.Message, bool) { return deme.Message{}, false }
 
 func mkCand(d, v, tr float64, attr tabu.Attribute) cand {
+	obj := solution.Objectives{Distance: d, Vehicles: v, Tardiness: tr}
 	return cand{
-		sol:  &solution.Solution{Obj: solution.Objectives{Distance: d, Vehicles: v, Tardiness: tr}},
+		obj:  obj,
+		sol:  &solution.Solution{Obj: obj}, // pre-materialized: no move to apply
 		attr: attr,
 	}
 }
@@ -53,7 +55,7 @@ func TestSelectCandPrefersDominating(t *testing.T) {
 		mkCand(cur.Distance+5, cur.Vehicles-1, cur.Tardiness, 3), // trade-off
 	}
 	for trial := 0; trial < 20; trial++ {
-		got := s.selectCand(cands)
+		got := s.selectCand(cands, nondomIndices(cands))
 		if got != 1 {
 			t.Fatalf("selectCand picked %d, want the dominating candidate 1", got)
 		}
@@ -69,7 +71,7 @@ func TestSelectCandSkipsTabu(t *testing.T) {
 	cands := []cand{
 		mkCand(cur.Distance+10, cur.Vehicles, cur.Tardiness+1, 7),
 	}
-	if got := s.selectCand(cands); got != -1 {
+	if got := s.selectCand(cands, nondomIndices(cands)); got != -1 {
 		t.Fatalf("tabu candidate selected (%d)", got)
 	}
 }
@@ -80,11 +82,11 @@ func TestSelectCandAspiration(t *testing.T) {
 	s.tl.Add(9)
 	// Tabu but archive-improving (dominates everything stored).
 	cands := []cand{mkCand(cur.Distance-50, cur.Vehicles, 0, 9)}
-	if got := s.selectCand(cands); got != 0 {
+	if got := s.selectCand(cands, nondomIndices(cands)); got != 0 {
 		t.Fatal("aspiration did not admit an archive-improving tabu candidate")
 	}
 	s.cfg.DisableAspiration = true
-	if got := s.selectCand(cands); got != -1 {
+	if got := s.selectCand(cands, nondomIndices(cands)); got != -1 {
 		t.Fatal("DisableAspiration did not suppress the aspiration criterion")
 	}
 	s.cfg.DisableAspiration = false
@@ -92,7 +94,7 @@ func TestSelectCandAspiration(t *testing.T) {
 
 func TestSelectCandEmpty(t *testing.T) {
 	s, _ := newTestSearcher(t)
-	if got := s.selectCand(nil); got != -1 {
+	if got := s.selectCand(nil, nil); got != -1 {
 		t.Fatalf("empty candidate set selected %d", got)
 	}
 }

@@ -8,10 +8,13 @@ import (
 )
 
 // workerLoop services work requests from a master until it receives a stop
-// message (or the system drains): it generates and evaluates the requested
-// number of neighbors of the received current solution and sends the
-// evaluated chunk back. Both the synchronous and the asynchronous variants
-// use the same worker.
+// message (or the system drains): it generates and delta-evaluates the
+// requested number of neighbors of the received current solution and sends
+// the objectives-only chunk back; the master materializes whichever
+// candidates it selects. Both the synchronous and the asynchronous variants
+// use the same worker. Received solutions are immutable and every worker
+// builds its own schedule cache, so nothing mutable crosses the goroutine
+// boundary.
 func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, master int) {
 	gen := operators.NewGenerator(in, cfg.Operators)
 	for {
@@ -23,12 +26,19 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 			continue // stray share/result messages are not for workers
 		}
 		w := m.Data.(workMsg)
-		nbh := gen.Neighborhood(w.cur, r, w.count)
-		cands := make([]cand, len(nbh))
+		cs := gen.Candidates(w.cur, r, w.count)
+		cands := make([]cand, len(cs))
 		var cost float64
-		for i, nb := range nbh {
-			cands[i] = cand{sol: nb.Sol, attr: nb.Move.Attribute(), op: nb.Move.Operator(), born: w.iter}
-			cost += cfg.Cost.evalCost(in, nb.Sol)
+		for i, c := range cs {
+			cands[i] = cand{
+				move: c.Move,
+				base: w.cur,
+				obj:  c.Obj,
+				attr: c.Move.Attribute(),
+				op:   c.Move.Operator(),
+				born: w.iter,
+			}
+			cost += cfg.Cost.evalCost(in, int(c.Obj.Vehicles))
 		}
 		p.Compute(cost)
 		p.Send(master, tagResult, resultMsg{cands: cands}, len(cands)*solBytes(in))

@@ -100,17 +100,17 @@ func Run(in *vrptw.Instance, cfg Config) (*Result, error) {
 			if evals >= cfg.MaxEvaluations {
 				break
 			}
-			nbh := gen.Neighborhood(pt.cur, pt.r, cfg.NeighborhoodSize)
-			if len(nbh) == 0 {
+			cs := gen.Candidates(pt.cur, pt.r, cfg.NeighborhoodSize)
+			if len(cs) == 0 {
 				evals++
 				continue
 			}
-			evals += len(nbh)
+			evals += len(cs)
 			best := -1
 			bestVal := math.Inf(1)
-			for k, nb := range nbh {
-				v := scalarize(nb.Sol.Obj, weights[i])
-				if pt.tl.Contains(nb.Move.Attribute()) && !archive.WouldImprove(nb.Sol) {
+			for k, c := range cs {
+				v := scalarize(c.Obj, weights[i])
+				if pt.tl.Contains(c.Move.Attribute()) && !archive.WouldAccept(c.Obj) {
 					continue // tabu without archive aspiration
 				}
 				if v < bestVal {
@@ -125,11 +125,17 @@ func Run(in *vrptw.Instance, cfg Config) (*Result, error) {
 				}
 				continue
 			}
-			pt.cur = nbh[best].Sol
-			pt.tl.Add(nbh[best].Move.Attribute())
-			for _, nb := range nbh {
-				if nb.Sol.Obj.Dominates(pt.cur.Obj) || nb.Sol == pt.cur {
-					archive.Add(nb.Sol)
+			// Materialize only the chosen neighbor and the neighbors
+			// that both dominate it and would enter the archive.
+			prev := pt.cur
+			pt.cur = cs[best].Move.Apply(in, prev)
+			pt.tl.Add(cs[best].Move.Attribute())
+			for k, c := range cs {
+				if k == best {
+					continue
+				}
+				if c.Obj.Dominates(pt.cur.Obj) && archive.WouldAccept(c.Obj) {
+					archive.Add(c.Move.Apply(in, prev))
 				}
 			}
 			archive.Add(pt.cur)

@@ -1,0 +1,176 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+const deltaTol = 1e-9
+
+// checkDelta verifies that m.Delta agrees with the objectives of the
+// materialized solution to within deltaTol.
+func checkDelta(t *testing.T, in *vrptw.Instance, s *solution.Solution, e *solution.Eval, m Move, name string) {
+	t.Helper()
+	got, ok := m.Delta(in, s, e)
+	if !ok {
+		t.Fatalf("%s: Delta reported not computable for %v", name, m)
+	}
+	want := m.Apply(in, s).Obj
+	if math.Abs(got.Distance-want.Distance) > deltaTol ||
+		got.Vehicles != want.Vehicles ||
+		math.Abs(got.Tardiness-want.Tardiness) > deltaTol {
+		t.Errorf("%s: %v\n  Delta = %+v\n  Apply = %+v", name, m, got, want)
+	}
+}
+
+// TestDeltaMatchesApplyProperty walks random solutions of instances up to
+// the paper's 600-customer size and checks every operator's Delta against
+// full materialization at each step.
+func TestDeltaMatchesApplyProperty(t *testing.T) {
+	cases := []struct {
+		class vrptw.Class
+		n     int
+		steps int
+		seed  uint64
+	}{
+		{vrptw.R1, 25, 60, 1},
+		{vrptw.C2, 60, 40, 2},
+		{vrptw.RC1, 100, 30, 3},
+		{vrptw.R1, 400, 10, 4},
+		{vrptw.RC2, 600, 6, 5},
+	}
+	for _, tc := range cases {
+		in := genInstance(t, tc.class, tc.n, tc.seed)
+		s := greedyFill(in)
+		e := solution.NewEval(in, s)
+		r := rng.New(tc.seed * 31)
+		ops := Extended()
+		for step := 0; step < tc.steps; step++ {
+			var adv Move
+			for _, op := range ops {
+				m, ok := op.Propose(in, s, r)
+				if !ok {
+					continue
+				}
+				checkDelta(t, in, s, e, m, op.Name())
+				adv = m
+			}
+			if adv == nil {
+				continue
+			}
+			s = adv.Apply(in, s)
+			e.Reset(in, s)
+		}
+	}
+}
+
+// TestDeltaEdgeCases drives every operator's Delta through the boundary
+// geometries where segment algebra is easiest to get wrong: emptied and
+// created routes, head/tail insertions, full reversals and adjacent cuts.
+func TestDeltaEdgeCases(t *testing.T) {
+	in := genInstance(t, vrptw.R2, 12, 7) // wide windows, large capacity
+	s := solution.New(in, [][]int{{1}, {2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12}})
+	e := solution.NewEval(in, s)
+
+	cases := []struct {
+		name string
+		m    Move
+	}{
+		{"relocate/empties-singleton-donor", relocateMove{from: 0, fpos: 0, to: 1, tpos: 2, cust: 1}},
+		{"relocate/insert-at-head", relocateMove{from: 1, fpos: 2, to: 2, tpos: 0, cust: 4}},
+		{"relocate/insert-at-tail", relocateMove{from: 2, fpos: 0, to: 1, tpos: 5, cust: 7}},
+		{"exchange/head-tail-positions", exchangeMove{r1: 1, p1: 0, r2: 2, p2: 5, c1: 2, c2: 12}},
+		{"exchange/adjacent-boundaries", exchangeMove{r1: 1, p1: 4, r2: 2, p2: 0, c1: 6, c2: 7}},
+		{"2-opt/full-route-reversal", twoOptMove{route: 2, i: 0, j: 5, ci: 7, cj: 12}},
+		{"2-opt/adjacent-pair", twoOptMove{route: 1, i: 2, j: 3, ci: 4, cj: 5}},
+		{"2-opt*/merge-into-first", twoOptStarMove{r1: 1, p1: 5, r2: 2, p2: 0, a1: 6, a2: 0}},
+		{"2-opt*/merge-into-second", twoOptStarMove{r1: 1, p1: 0, r2: 2, p2: 6, a1: 0, a2: 12}},
+		{"2-opt*/mid-cut", twoOptStarMove{r1: 1, p1: 2, r2: 2, p2: 3, a1: 3, a2: 9}},
+		{"or-opt/dst-before-seg", orOptMove{route: 2, seg: 3, dst: 0, c1: 10, c2: 11}},
+		{"or-opt/dst-after-seg", orOptMove{route: 2, seg: 0, dst: 3, c1: 7, c2: 8}},
+		{"or-opt/seg-at-tail", orOptMove{route: 1, seg: 3, dst: 0, c1: 5, c2: 6}},
+		{"or-opt-n/len-3", orOptNMove{route: 2, seg: 1, length: 3, dst: 0, c1: 8, c2: 10}},
+		{"or-opt-n/len-1-to-tail", orOptNMove{route: 2, seg: 0, length: 1, dst: 5, c1: 7, c2: 7}},
+		{"relocate-new/opens-route", relocateNewMove{from: 1, fpos: 1, cust: 3}},
+		{"cross-exchange/unequal-segments", crossExchangeMove{r1: 1, p1: 1, l1: 2, r2: 2, p2: 2, l2: 3, a1: 3, a2: 9}},
+		{"cross-exchange/head-segments", crossExchangeMove{r1: 1, p1: 0, l1: 1, r2: 2, p2: 0, l2: 2, a1: 2, a2: 7}},
+	}
+	for _, tc := range cases {
+		checkDelta(t, in, s, e, tc.m, tc.name)
+	}
+}
+
+// TestCandidatesMatchNeighborhood pins the delta path to the materializing
+// path: identical seeds must yield the same move sequence with objectives
+// equal to within deltaTol.
+func TestCandidatesMatchNeighborhood(t *testing.T) {
+	in := genInstance(t, vrptw.R1, 80, 29)
+	s := greedyFill(in)
+	nbh := NewGenerator(in, nil).Neighborhood(s, rng.New(77), 60)
+	cs := NewGenerator(in, nil).Candidates(s, rng.New(77), 60)
+	if len(nbh) != len(cs) {
+		t.Fatalf("Neighborhood produced %d moves, Candidates %d", len(nbh), len(cs))
+	}
+	for i := range cs {
+		if cs[i].Move.Attribute() != nbh[i].Move.Attribute() {
+			t.Fatalf("move %d differs between the two paths", i)
+		}
+		w := nbh[i].Sol.Obj
+		g := cs[i].Obj
+		if math.Abs(g.Distance-w.Distance) > deltaTol ||
+			g.Vehicles != w.Vehicles ||
+			math.Abs(g.Tardiness-w.Tardiness) > deltaTol {
+			t.Errorf("candidate %d: delta obj %+v != materialized obj %+v", i, g, w)
+		}
+	}
+}
+
+// BenchmarkDeltaVsApply compares the per-candidate evaluation cost of the
+// two paths on a 400-customer instance.
+func BenchmarkDeltaVsApply(b *testing.B) {
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := greedyFill(in)
+	moves := NewGenerator(in, nil).Moves(s, rng.New(1), 200)
+	if len(moves) == 0 {
+		b.Fatal("no moves proposed")
+	}
+	e := solution.NewEval(in, s)
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := moves[i%len(moves)].Delta(in, s, e); !ok {
+				b.Fatal("delta not computable")
+			}
+		}
+	})
+	b.Run("apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			moves[i%len(moves)].Apply(in, s)
+		}
+	})
+}
+
+// BenchmarkCandidates200 is the delta-path counterpart of
+// BenchmarkNeighborhood200: one full neighborhood on the same instance.
+func BenchmarkCandidates200(b *testing.B) {
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := greedyFill(in)
+	g := NewGenerator(in, nil)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Candidates(s, r, 200)
+	}
+}

@@ -65,16 +65,19 @@ func (o OrOptN) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (
 			continue
 		}
 		c1, c2 := route[seg], route[seg+length-1]
-		rem := concat(route[:seg], route[seg+length:])
 		if !arcOK(in, before(route, seg), after(route, seg+length-1)) {
 			continue
 		}
-		if !arcOK(in, before(rem, dst), c1) {
+		prev := 0
+		if dst > 0 {
+			prev = remAt(route, seg, length, dst-1)
+		}
+		if !arcOK(in, prev, c1) {
 			continue
 		}
 		next := 0
-		if dst < len(rem) {
-			next = rem[dst]
+		if dst < len(route)-length {
+			next = remAt(route, seg, length, dst)
 		}
 		if !arcOK(in, c2, next) {
 			continue

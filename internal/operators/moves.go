@@ -288,18 +288,23 @@ func (OrOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Mov
 			continue // would reinsert in place
 		}
 		c1, c2 := route[seg], route[seg+1]
-		// Remainder after removing the segment.
-		rem := concat(route[:seg], route[seg+2:])
-		// Arcs created: gap closure and the two insertion arcs.
+		// Arcs created: gap closure and the two insertion arcs. The
+		// insertion neighbors are read off the original route (remAt)
+		// instead of building the remainder — this runs on every attempt
+		// of the innermost propose loop.
 		if !arcOK(in, before(route, seg), after(route, seg+1)) {
 			continue
 		}
-		if !arcOK(in, before(rem, dst), c1) {
+		prev := 0
+		if dst > 0 {
+			prev = remAt(route, seg, 2, dst-1)
+		}
+		if !arcOK(in, prev, c1) {
 			continue
 		}
 		next := 0
-		if dst < len(rem) {
-			next = rem[dst]
+		if dst < len(route)-2 {
+			next = remAt(route, seg, 2, dst)
 		}
 		if !arcOK(in, c2, next) {
 			continue

@@ -20,13 +20,21 @@ import (
 )
 
 // Move is a reified neighborhood move: it can be applied to the solution it
-// was proposed on (producing a new, evaluated solution) and carries a tabu
-// attribute identifying the operator and the customers it touches.
+// was proposed on (producing a new, evaluated solution) or delta-evaluated
+// against that solution's schedule cache, and carries a tabu attribute
+// identifying the operator and the customers it touches.
 type Move interface {
 	// Apply materializes the move on s, the same solution it was
 	// proposed on, returning a new evaluated solution. s is not
 	// modified.
 	Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution
+	// Delta returns the objectives of the solution Apply would produce,
+	// agreeing with it to within floating-point noise (well below 1e-9),
+	// in time proportional to the changed segments rather than the
+	// touched routes. e must be the schedule cache of s. The second
+	// result reports whether the delta could be computed; callers fall
+	// back to Apply when it is false.
+	Delta(in *vrptw.Instance, s *solution.Solution, e *solution.Eval) (solution.Objectives, bool)
 	// Attribute is the move's tabu identity.
 	Attribute() tabu.Attribute
 	// Operator names the operator that produced the move.
@@ -59,7 +67,9 @@ type Neighbor struct {
 
 // Generator draws random moves on a solution from a set of operators with
 // equal probability. The zero value is unusable; construct with
-// NewGenerator.
+// NewGenerator. A Generator is not safe for concurrent use: it shares the
+// caller's random stream and memoizes the schedule cache of the last
+// evaluated solution.
 type Generator struct {
 	in  *vrptw.Instance
 	ops []Operator
@@ -67,6 +77,8 @@ type Generator struct {
 	// Neighborhood call, preventing livelock on solutions with very few
 	// feasible moves. Defaults to 50 failures per requested neighbor.
 	MaxFailures int
+
+	lastEval *solution.Eval
 }
 
 // NewGenerator returns a Generator over the given operators (All() if ops
@@ -91,6 +103,45 @@ func (g *Generator) Neighborhood(s *solution.Solution, r *rng.Rand, size int) []
 	return out
 }
 
+// Candidate pairs a proposed move with the objectives of the solution it
+// would produce. The solution itself is not materialized; apply the move
+// when (and only when) the full solution is needed.
+type Candidate struct {
+	Move Move
+	Obj  solution.Objectives
+}
+
+// Candidates proposes up to size moves on s and delta-evaluates each one
+// against s's schedule cache, returning objectives-only candidates. This
+// is the search's hot path: one route-schedule rebuild per distinct s,
+// then O(1)–O(segment) per candidate, instead of one full materialization
+// per candidate. Every returned candidate counts as one objective-function
+// evaluation, exactly like a materialized neighbor.
+func (g *Generator) Candidates(s *solution.Solution, r *rng.Rand, size int) []Candidate {
+	moves := g.Moves(s, r, size)
+	e := g.eval(s)
+	out := make([]Candidate, len(moves))
+	for i, m := range moves {
+		obj, ok := m.Delta(g.in, s, e)
+		if !ok {
+			obj = m.Apply(g.in, s).Obj
+		}
+		out[i] = Candidate{Move: m, Obj: obj}
+	}
+	return out
+}
+
+// eval returns the schedule cache for s, rebuilding only when s differs
+// from the last evaluated solution.
+func (g *Generator) eval(s *solution.Solution) *solution.Eval {
+	if g.lastEval == nil {
+		g.lastEval = solution.NewEval(g.in, s)
+	} else if g.lastEval.Solution() != s {
+		g.lastEval.Reset(g.in, s)
+	}
+	return g.lastEval
+}
+
 // Moves proposes up to size moves on s without applying them. The async
 // master–worker variant ships moves to workers and lets them evaluate.
 func (g *Generator) Moves(s *solution.Solution, r *rng.Rand, size int) []Move {
@@ -110,22 +161,17 @@ func (g *Generator) Moves(s *solution.Solution, r *rng.Rand, size int) []Move {
 	return moves
 }
 
-// departReady returns the earliest time a vehicle can leave site i: the
-// window start plus the service time (the depot has zero service).
-func departReady(in *vrptw.Instance, i int) float64 {
-	s := in.Sites[i]
-	return s.Ready + s.Service
-}
-
 // arcOK is the paper's local feasibility test for a newly created arc
 // i -> j: even departing i as early as possible, can j still be reached by
 // its due date? Arcs into the depot are always acceptable (a late return is
-// plain tardiness, not an obvious local violation).
+// plain tardiness, not an obvious local violation). The earliest departure
+// is precomputed on the instance — this test runs in the innermost propose
+// loop of every operator.
 func arcOK(in *vrptw.Instance, i, j int) bool {
 	if j == 0 {
 		return true
 	}
-	return departReady(in, i)+in.Dist(i, j) <= in.Sites[j].Due
+	return in.DepartReady(i)+in.Dist(i, j) <= in.Sites[j].Due
 }
 
 // before returns the site preceding position p of route (depot if p == 0).
@@ -134,6 +180,15 @@ func before(route []int, p int) int {
 		return 0
 	}
 	return route[p-1]
+}
+
+// remAt returns the customer at position i of the route with the length-l
+// segment starting at seg removed, without building the remainder.
+func remAt(route []int, seg, l, i int) int {
+	if i < seg {
+		return route[i]
+	}
+	return route[i+l]
 }
 
 // after returns the site following position p of route (depot if p is the

@@ -88,8 +88,16 @@ func (a *Archive) Add(s *solution.Solution) bool {
 // modifying the archive. Used for the aspiration criterion and by the
 // asynchronous master to classify late results.
 func (a *Archive) WouldImprove(s *solution.Solution) bool {
+	return a.WouldAccept(s.Obj)
+}
+
+// WouldAccept reports whether an Add of a solution with objectives o would
+// currently be accepted, without modifying the archive. It lets callers on
+// the delta-evaluation path decide admission from objectives alone, before
+// materializing the solution.
+func (a *Archive) WouldAccept(o solution.Objectives) bool {
 	for _, m := range a.items {
-		if m.Obj.WeaklyDominates(s.Obj) {
+		if m.Obj.WeaklyDominates(o) {
 			return false
 		}
 	}

@@ -1,0 +1,250 @@
+package solution
+
+// Delta-evaluation support: per-route forward/backward schedules
+// (Kindervater & Savelsbergh style) that let move operators compute the
+// objective change of splicing, reversing or transplanting route segments
+// without materializing the resulting routes. The forward arrays replay
+// exactly the arithmetic of RouteMetrics, so a full splice walk reproduces
+// its result bit for bit; the cached-suffix shortcuts introduce only the
+// floating-point noise of subtracting prefix sums (well below 1e-9).
+
+import (
+	"math"
+
+	"repro/internal/vrptw"
+)
+
+// RouteEval caches the schedules of one route. All arrays have length
+// len(route)+1.
+//
+// The forward arrays are prefix states: index i describes the vehicle
+// after serving the first i customers. Depart[0] is the depot departure
+// (the depot ready time); Dist, Tard and Load start at 0 and exclude the
+// return leg to the depot.
+//
+// Latest is the backward schedule: Latest[j] for j < len(route) is the
+// latest arrival time at route[j] for which serving route[j:] and
+// returning to the depot incurs zero tardiness (-Inf when even the
+// earliest service cannot avoid downstream tardiness), and
+// Latest[len(route)] is the depot due date — the latest punctual return.
+type RouteEval struct {
+	Depart []float64
+	Dist   []float64
+	Tard   []float64
+	Load   []float64
+	Latest []float64
+}
+
+// build fills the arrays for route, reusing existing capacity.
+func (re *RouteEval) build(in *vrptw.Instance, route []int) {
+	k := len(route)
+	re.Depart = sized(re.Depart, k+1)
+	re.Dist = sized(re.Dist, k+1)
+	re.Tard = sized(re.Tard, k+1)
+	re.Load = sized(re.Load, k+1)
+	re.Latest = sized(re.Latest, k+1)
+
+	depot := &in.Sites[0]
+	t := depot.Ready
+	var dist, tard, load float64
+	re.Depart[0], re.Dist[0], re.Tard[0], re.Load[0] = t, 0, 0, 0
+	prev := 0
+	for i, c := range route {
+		s := &in.Sites[c]
+		leg := in.Dist(prev, c)
+		dist += leg
+		t += leg
+		if t < s.Ready {
+			t = s.Ready
+		}
+		if t > s.Due {
+			tard += t - s.Due
+		}
+		t += s.Service
+		load += s.Demand
+		re.Depart[i+1], re.Dist[i+1], re.Tard[i+1], re.Load[i+1] = t, dist, tard, load
+		prev = c
+	}
+
+	re.Latest[k] = depot.Due
+	next := 0
+	for j := k - 1; j >= 0; j-- {
+		c := route[j]
+		s := &in.Sites[c]
+		latest := re.Latest[j+1] - in.Dist(c, next) - s.Service
+		switch {
+		case latest < s.Ready:
+			re.Latest[j] = math.Inf(-1)
+		case latest > s.Due:
+			re.Latest[j] = s.Due
+		default:
+			re.Latest[j] = latest
+		}
+		next = c
+	}
+}
+
+func sized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Eval is the delta-evaluation cache of one solution: a RouteEval per
+// route. It is bound to a specific *Solution; derive new solutions first
+// and Reset the cache afterwards. An Eval is not safe for concurrent use.
+type Eval struct {
+	sol *Solution
+	R   []RouteEval
+}
+
+// NewEval builds the schedule cache for every route of s.
+func NewEval(in *vrptw.Instance, s *Solution) *Eval {
+	e := &Eval{}
+	e.Reset(in, s)
+	return e
+}
+
+// Reset rebinds the cache to s, reusing the per-route buffers of previous
+// solutions where capacities allow.
+func (e *Eval) Reset(in *vrptw.Instance, s *Solution) {
+	e.sol = s
+	if cap(e.R) < len(s.Routes) {
+		e.R = make([]RouteEval, len(s.Routes))
+	} else {
+		e.R = e.R[:len(s.Routes)]
+	}
+	for i, r := range s.Routes {
+		e.R[i].build(in, r)
+	}
+}
+
+// Solution returns the solution this cache was built for.
+func (e *Eval) Solution() *Solution { return e.sol }
+
+// PrefixLoad returns the summed demand of the first p customers of route r
+// in O(1).
+func (e *Eval) PrefixLoad(r, p int) float64 { return e.R[r].Load[p] }
+
+// Seg is one building block of a spliced route: the half-open position
+// range [From, To) of route Route of the cached solution, traversed in
+// reverse when Rev is set — or, when Route is negative, the single
+// customer Cust.
+type Seg struct {
+	Route    int
+	From, To int
+	Rev      bool
+	Cust     int
+}
+
+// Piece references route[From:To] of the cached solution's route r.
+func Piece(r, from, to int) Seg { return Seg{Route: r, From: from, To: to} }
+
+// ReversedPiece references route[From:To] traversed back to front.
+func ReversedPiece(r, from, to int) Seg { return Seg{Route: r, From: from, To: to, Rev: true} }
+
+// Single is a segment holding one customer.
+func Single(cust int) Seg { return Seg{Route: -1, Cust: cust} }
+
+// SpliceMetrics computes the travel distance and tardiness of the route
+// formed by concatenating segs — the values RouteMetrics would return on
+// the materialized route — without building it. Cost is proportional to
+// the changed region: a leading prefix of a cached route is folded in O(1),
+// interior segments are walked customer by customer, and a trailing suffix
+// of a cached route terminates as soon as the new schedule either provably
+// incurs no further tardiness (arrival at or before Latest) or
+// resynchronizes with the cached schedule (equal departure times).
+func (e *Eval) SpliceMetrics(in *vrptw.Instance, segs ...Seg) (dist, tard float64) {
+	depot := &in.Sites[0]
+	t := depot.Ready
+	prev := 0
+
+	step := func(c int) {
+		s := &in.Sites[c]
+		leg := in.Dist(prev, c)
+		dist += leg
+		t += leg
+		if t < s.Ready {
+			t = s.Ready
+		}
+		if t > s.Due {
+			tard += t - s.Due
+		}
+		t += s.Service
+		prev = c
+	}
+
+segments:
+	for si := range segs {
+		seg := &segs[si]
+		if seg.Route < 0 {
+			step(seg.Cust)
+			continue
+		}
+		if seg.From >= seg.To {
+			continue
+		}
+		route := e.sol.Routes[seg.Route]
+		re := &e.R[seg.Route]
+
+		// A leading prefix of a cached route: fold in O(1).
+		if si == 0 && !seg.Rev && seg.From == 0 {
+			t = re.Depart[seg.To]
+			dist = re.Dist[seg.To]
+			tard = re.Tard[seg.To]
+			prev = route[seg.To-1]
+			continue
+		}
+
+		// A trailing suffix of a cached route: walk with early exit.
+		if si == len(segs)-1 && !seg.Rev && seg.To == len(route) {
+			totalDist, totalTard := e.sol.Dist[seg.Route], e.sol.Tard[seg.Route]
+			for j := seg.From; j < seg.To; j++ {
+				c := route[j]
+				s := &in.Sites[c]
+				leg := in.Dist(prev, c)
+				arr := t + leg
+				if arr <= re.Latest[j] {
+					// The whole remaining suffix is served without
+					// tardiness; its arcs are time-independent.
+					return dist + leg + totalDist - re.Dist[j+1], tard
+				}
+				dist += leg
+				if arr < s.Ready {
+					arr = s.Ready
+				}
+				if arr > s.Due {
+					tard += arr - s.Due
+				}
+				t = arr + s.Service
+				prev = c
+				if t == re.Depart[j+1] {
+					// Resynchronized with the cached schedule: the rest
+					// of the suffix behaves exactly as cached.
+					return dist + totalDist - re.Dist[j+1], tard + totalTard - re.Tard[j+1]
+				}
+			}
+			continue segments
+		}
+
+		// Generic interior segment: walk customer by customer.
+		if seg.Rev {
+			for j := seg.To - 1; j >= seg.From; j-- {
+				step(route[j])
+			}
+		} else {
+			for j := seg.From; j < seg.To; j++ {
+				step(route[j])
+			}
+		}
+	}
+
+	leg := in.Dist(prev, 0)
+	dist += leg
+	t += leg
+	if t > depot.Due {
+		tard += t - depot.Due
+	}
+	return dist, tard
+}

@@ -37,7 +37,8 @@ type Instance struct {
 	Vehicles int     // R, the maximum fleet size
 	Capacity float64 // m, shared by the homogeneous fleet
 
-	dist []float64 // row-major (N+1)×(N+1) Euclidean distance matrix
+	dist        []float64 // row-major (N+1)×(N+1) Euclidean distance matrix
+	departReady []float64 // a_i + c_i per site: earliest possible departure
 }
 
 // New builds an Instance from the given sites, validates it, and
@@ -104,6 +105,10 @@ func (in *Instance) buildDistances() {
 			in.dist[j*n+i] = d
 		}
 	}
+	in.departReady = make([]float64, n)
+	for i, s := range in.Sites {
+		in.departReady[i] = s.Ready + s.Service
+	}
 }
 
 // N returns the number of customers (excluding the depot).
@@ -118,6 +123,12 @@ func (in *Instance) PermLen() int { return in.N() + in.Vehicles + 1 }
 func (in *Instance) Dist(i, j int) float64 {
 	return in.dist[i*len(in.Sites)+j]
 }
+
+// DepartReady returns the earliest time a vehicle can leave site i: the
+// window start plus the service time (the depot has zero service). It is
+// precomputed because the operators' local feasibility test evaluates it in
+// their innermost propose loops.
+func (in *Instance) DepartReady(i int) float64 { return in.departReady[i] }
 
 // Horizon returns the depot due date, i.e. the end of the scheduling
 // horizon.

@@ -168,17 +168,17 @@ func singleObjectiveTS(in *vrptw.Instance, w Weights, budget int, cfg Config, r 
 	evals := 1
 
 	for evals < budget {
-		nbh := gen.Neighborhood(cur, r, cfg.NeighborhoodSize)
-		if len(nbh) == 0 {
+		cs := gen.Candidates(cur, r, cfg.NeighborhoodSize)
+		if len(cs) == 0 {
 			evals++
 			continue
 		}
-		evals += len(nbh)
+		evals += len(cs)
 		chosen := -1
 		chosenVal := math.Inf(1)
-		for i, nb := range nbh {
-			v := scalar(nb.Sol.Obj, w, ref)
-			if tl.Contains(nb.Move.Attribute()) && v >= bestVal {
+		for i, c := range cs {
+			v := scalar(c.Obj, w, ref)
+			if tl.Contains(c.Move.Attribute()) && v >= bestVal {
 				continue // tabu without aspiration
 			}
 			if v < chosenVal {
@@ -190,8 +190,8 @@ func singleObjectiveTS(in *vrptw.Instance, w Weights, budget int, cfg Config, r 
 			cur = best
 			continue
 		}
-		cur = nbh[chosen].Sol
-		tl.Add(nbh[chosen].Move.Attribute())
+		cur = cs[chosen].Move.Apply(in, cur)
+		tl.Add(cs[chosen].Move.Attribute())
 		if chosenVal < bestVal {
 			best, bestVal = cur, chosenVal
 		}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the delta-evaluation benchmark set (per-candidate Delta vs Apply,
+# full neighborhood generation, and one searcher iteration on a
+# 400-customer instance) and records the results in BENCH_delta.json.
+# BENCHTIME overrides the per-benchmark time budget (default 1s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_delta.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates200|BenchmarkNeighborhood200' \
+  -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/operators/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkSearcherIteration' \
+  -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/core/ | tee -a "$TMP"
+
+awk 'BEGIN { print "[" }
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""; bytes = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "B/op") bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+  }
+  END { print "\n]" }' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
