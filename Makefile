@@ -1,10 +1,11 @@
 # Developer verify loop. `make verify` is the full gate a change must pass:
-# build, vet, the complete test suite, and the race detector over the
-# concurrency-heavy packages (the search core and the process simulator).
+# build, vet, the complete test suite, the race detector over the
+# concurrency-heavy packages (the search core and the process simulator),
+# and the zero-allocation assertion on the disabled-telemetry hot path.
 
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race allocs bench profile verify
 
 build:
 	$(GO) build ./...
@@ -18,8 +19,27 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/deme/...
 
-# bench refreshes BENCH_delta.json via scripts/bench.sh.
+# allocs asserts the telemetry overhead contract: disabled-path recording
+# calls allocate nothing, and a full searcher iteration allocates no more
+# with the instruments enabled than with the layer off.
+allocs:
+	$(GO) test -run 'TestDisabledZeroAlloc|TestEnabledZeroAlloc' -count 1 -v ./internal/telemetry/
+	$(GO) test -run 'TestSearcherIterationTelemetryAllocs' -count 1 -v ./internal/core/
+
+# bench refreshes BENCH_delta.json and BENCH_telemetry.json via
+# scripts/bench.sh (prior numbers are archived to BENCH_history.jsonl).
 bench:
 	./scripts/bench.sh
 
-verify: build vet test race
+# profile runs a short goroutine-backend asynchronous search with the
+# observability endpoints live and saves CPU and heap profiles next to a
+# JSONL telemetry report. Inspect with: go tool pprof profiles/cpu.prof
+profile: build
+	mkdir -p profiles
+	$(GO) run ./cmd/tsmo -alg asynchronous -procs 4 -backend goroutine \
+	  -class R1 -n 200 -evals 60000 \
+	  -telemetry profiles/run.jsonl -pprof 127.0.0.1:0 \
+	  -cpuprofile profiles/cpu.prof -memprofile profiles/heap.prof
+	@echo "profiles written to profiles/{cpu.prof,heap.prof,run.jsonl}"
+
+verify: build vet test race allocs

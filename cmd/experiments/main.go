@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,8 +29,30 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		combined = flag.Bool("combined", false, "also run the future-work combined variant (P >= 4 blocks)")
 		extra    = flag.String("extra", "", `extra experiment instead of the tables: "equal-time" (the paper's §IV remark) or "operators" (neighborhood ablation)`)
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof + expvar on this address while the experiments run (e.g. localhost:6060)")
+		logLevel = flag.String("log-level", "", "enable a structured slog progress stream on stderr: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if *logLevel != "" {
+		level, err := telemetry.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		logger := telemetry.NewLogger(os.Stderr, level)
+		logger.Info("experiments starting", "table", *table, "scale", *scale, "seed", *seed)
+		defer logger.Info("experiments done")
+	}
+	if *pprofA != "" {
+		srv, err := telemetry.Serve(*pprofA, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof\n", srv.Addr)
+	}
 
 	if *extra != "" {
 		if err := runExtra(*extra, *seed); err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,16 +11,36 @@ import (
 	"repro/internal/resultio"
 )
 
+// baseOptions mirrors the flag defaults for the small test instance.
+func baseOptions() options {
+	return options{
+		algName:  "sequential",
+		procs:    1,
+		class:    "R1",
+		n:        40,
+		seed:     1,
+		instSeed: 1,
+		evals:    800,
+		nbh:      40,
+		tenure:   20,
+		archive:  20,
+		restart:  100,
+		backend:  "sim",
+	}
+}
+
 func TestRunGeneratedInstance(t *testing.T) {
 	dir := t.TempDir()
-	jsonOut := filepath.Join(dir, "front.json")
-	trajOut := filepath.Join(dir, "traj.csv")
-	err := run("asynchronous", 3, 0, "R1", 40, 1, 1, "",
-		800, 40, 20, 20, 100, "sim", jsonOut, trajOut, false, true)
-	if err != nil {
+	o := baseOptions()
+	o.algName = "asynchronous"
+	o.procs = 3
+	o.jsonOut = filepath.Join(dir, "front.json")
+	o.trajOut = filepath.Join(dir, "traj.csv")
+	o.routes = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(jsonOut)
+	f, err := os.Open(o.jsonOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +52,7 @@ func TestRunGeneratedInstance(t *testing.T) {
 	if front.Algorithm != "asynchronous" || len(front.Solutions) == 0 {
 		t.Errorf("unexpected result file: %+v", front)
 	}
-	traj, err := os.ReadFile(trajOut)
+	traj, err := os.ReadFile(o.trajOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,31 +80,155 @@ CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE   SERVICE TIME
 	if err := os.WriteFile(inst, []byte(text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run("sequential", 1, 0, "", 0, 1, 1, inst,
-		300, 20, 20, 20, 100, "sim", "", "", true, false)
-	if err != nil {
+	o := baseOptions()
+	o.class, o.n = "", 0
+	o.instFile = inst
+	o.evals = 300
+	o.nbh = 20
+	o.all = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	cases := map[string]func() error{
-		"bad algorithm": func() error {
-			return run("nope", 1, 0, "R1", 20, 1, 1, "", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+	cases := map[string]func() options{
+		"bad algorithm": func() options {
+			o := baseOptions()
+			o.algName = "nope"
+			return o
 		},
-		"bad class": func() error {
-			return run("sequential", 1, 0, "X9", 20, 1, 1, "", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+		"bad class": func() options {
+			o := baseOptions()
+			o.class = "X9"
+			return o
 		},
-		"bad backend": func() error {
-			return run("sequential", 1, 0, "R1", 20, 1, 1, "", 100, 20, 20, 20, 100, "warp", "", "", false, false)
+		"bad backend": func() options {
+			o := baseOptions()
+			o.backend = "warp"
+			return o
 		},
-		"missing instance file": func() error {
-			return run("sequential", 1, 0, "", 0, 1, 1, "/no/such/file", 100, 20, 20, 20, 100, "sim", "", "", false, false)
+		"missing instance file": func() options {
+			o := baseOptions()
+			o.class, o.n = "", 0
+			o.instFile = "/no/such/file"
+			return o
+		},
+		"bad log level": func() options {
+			o := baseOptions()
+			o.logLevel = "loud"
+			return o
 		},
 	}
 	for name, f := range cases {
-		if f() == nil {
+		if run(f()) == nil {
 			t.Errorf("%s: no error", name)
 		}
+	}
+}
+
+// TestRunTelemetryReport is the ISSUE's acceptance check: an async run
+// with -telemetry set must produce a JSONL report whose summary exposes
+// per-operator accept rates, decision-function firing reasons, worker idle
+// time and delta fast-path/fallback counts.
+func TestRunTelemetryReport(t *testing.T) {
+	dir := t.TempDir()
+	o := baseOptions()
+	o.algName = "asynchronous"
+	o.procs = 3
+	o.evals = 1500
+	o.telemetryOut = filepath.Join(dir, "run.jsonl")
+	o.pprofAddr = "127.0.0.1:0"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(o.telemetryOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var summary map[string]any
+	events := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		name, _ := rec["event"].(string)
+		if name == "" {
+			t.Fatalf("record without event tag: %v", rec)
+		}
+		if _, ok := rec["ts"].(string); !ok {
+			t.Fatalf("record without ts: %v", rec)
+		}
+		events[name]++
+		if name == "summary" {
+			summary = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events["run_start"] != 1 || events["summary"] != 1 {
+		t.Fatalf("want one run_start and one summary event, got %v", events)
+	}
+	if events["snapshot"] == 0 {
+		t.Errorf("no front-quality snapshot events in %v", events)
+	}
+
+	counters, ok := summary["counters"].(map[string]any)
+	if !ok {
+		t.Fatal("summary has no counters object")
+	}
+	// Per-operator accept rates.
+	operators, ok := counters["operators"].(map[string]any)
+	if !ok || len(operators) == 0 {
+		t.Fatalf("no operator stats: %v", counters["operators"])
+	}
+	for name, v := range operators {
+		op := v.(map[string]any)
+		for _, key := range []string{"proposed", "selected", "accepted", "select_rate", "accept_rate"} {
+			if _, ok := op[key]; !ok {
+				t.Errorf("operator %s missing %s: %v", name, key, op)
+			}
+		}
+	}
+	// Decision-function firing reasons.
+	async := counters["async"].(map[string]any)
+	fires, ok := async["decision_fires"].(map[string]any)
+	if !ok {
+		t.Fatal("async counters missing decision_fires")
+	}
+	total := 0.0
+	for _, reason := range []string{"idle_worker", "dominating_candidate", "timeout", "budget_exhausted"} {
+		n, ok := fires[reason].(float64)
+		if !ok {
+			t.Errorf("decision_fires missing reason %s: %v", reason, fires)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Error("decision function never fired in an async run")
+	}
+	// Worker idle time.
+	worker := counters["worker"].(map[string]any)
+	if idle, ok := worker["idle_seconds"].(float64); !ok || idle <= 0 {
+		t.Errorf("worker idle_seconds not positive: %v", worker["idle_seconds"])
+	}
+	// Delta fast-path vs full-simulation fallback counts.
+	delta := counters["delta"].(map[string]any)
+	if fast, ok := delta["fast"].(float64); !ok || fast == 0 {
+		t.Errorf("delta fast-path count not positive: %v", delta["fast"])
+	}
+	if _, ok := delta["apply_fallback"]; !ok {
+		t.Errorf("delta counters missing apply_fallback: %v", delta)
+	}
+	// Search counters made it through too.
+	search := counters["search"].(map[string]any)
+	if n, _ := search["iterations"].(float64); n == 0 {
+		t.Error("search iterations counter is zero")
 	}
 }

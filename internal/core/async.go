@@ -4,6 +4,7 @@ import (
 	"repro/internal/deme"
 	"repro/internal/rng"
 	"repro/internal/solution"
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
@@ -41,6 +42,9 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 
 	var pending []cand
 
+	as := cfg.Telemetry.AsyncGroup()
+	sh := cfg.Telemetry.ShareGroup()
+
 	// handle folds one message into the master state.
 	handle := func(m deme.Message) {
 		switch m.Tag {
@@ -48,11 +52,12 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			rm := m.Data.(resultMsg)
 			pending = append(pending, rm.cands...)
 			s.evals += len(rm.cands)
+			s.ts.Evals(len(rm.cands))
 			idle[m.From] = true
 		case tagShare:
 			sol := m.Data.(*solution.Solution)
 			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
-			s.nondom.Add(sol)
+			sh.Received(s.nondom.Add(sol))
 		}
 	}
 
@@ -80,7 +85,8 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 		// periodic message polling; this is what lets the bunched
 		// worker replies of one round join the same iteration instead
 		// of straggling into the next.
-		deadline := p.Now() + cfg.WaitTimeout
+		waitStart := p.Now()
+		deadline := waitStart + cfg.WaitTimeout
 		poll := cfg.WaitTimeout / 3
 		collectQuantum := func() {
 			tick := p.Now() + poll
@@ -93,6 +99,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			}
 		}
 		collectQuantum()
+		fired := telemetry.FireTimeout // c3 unless another condition breaks first
 		for {
 			for {
 				m, ok := p.TryRecv()
@@ -117,12 +124,30 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			}
 			c4 := s.done(p)
 			if c1 || c2 || c4 {
+				switch {
+				case c1:
+					fired = telemetry.FireIdleWorker
+				case c2:
+					fired = telemetry.FireDominating
+				default:
+					fired = telemetry.FireBudget
+				}
 				break
 			}
 			if deadline-p.Now() <= 0 {
 				break // c3: waited too long
 			}
 			collectQuantum()
+		}
+		as.Fire(fired)
+		if as != nil {
+			late := 0
+			for i := range pending {
+				if pending[i].born < s.iter {
+					late++
+				}
+			}
+			as.Step(len(pending), late, p.Now()-waitStart)
 		}
 
 		improved := s.step(p, pending)

@@ -35,6 +35,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
 	initialPhase := true
 	shares := 0
+	sh := cfg.Telemetry.ShareGroup()
 
 	for !s.done(p) {
 		// Fold in solutions shared by the other searchers.
@@ -51,7 +52,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			// against the 50-entry M_nondom costs several times a
 			// plain neighbor update.
 			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
-			s.nondom.Add(sol)
+			sh.Received(s.nondom.Add(sol))
 		}
 
 		cands := s.generate(p, s.neighborhood)
@@ -79,10 +80,12 @@ func sendShare(p deme.Proc, in *vrptw.Instance, cfg *Config, sol *solution.Solut
 		for _, peer := range *commList {
 			p.Send(peer, tagShare, sol, solBytes(in))
 		}
+		cfg.Telemetry.ShareGroup().SendN(len(*commList))
 		return len(*commList)
 	}
 	peer := (*commList)[0]
 	*commList = append((*commList)[1:], peer)
 	p.Send(peer, tagShare, sol, solBytes(in))
+	cfg.Telemetry.ShareGroup().SendN(1)
 	return 1
 }

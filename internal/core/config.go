@@ -1,11 +1,13 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
 	"repro/internal/operators"
 	"repro/internal/solution"
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
@@ -166,6 +168,13 @@ type Config struct {
 	// master (or searcher 0) after every SampleEvery evaluations; see
 	// Result.Samples.
 	SampleEvery int
+	// Telemetry, when non-nil, enables the observability layer: atomic
+	// search/operator/delta counters, async decision-function tracing,
+	// worker idle accounting, and (when the layer carries sinks) the
+	// structured event stream and JSONL run report. nil — the default —
+	// disables all of it at a cost of one branch per instrumentation
+	// point; see internal/telemetry and BENCH_telemetry.json.
+	Telemetry *telemetry.Telemetry
 }
 
 // QualitySample is one point of a convergence curve.
@@ -181,6 +190,49 @@ type QualitySample struct {
 	BestVehicles float64
 	// ArchiveSize is the number of stored non-dominated solutions.
 	ArchiveSize int
+}
+
+// qualitySampleJSON is the wire form of QualitySample: the best-feasible
+// fields are pointers so the +Inf sentinel (archive holds no feasible
+// solution yet) marshals as an omitted field instead of breaking
+// encoding/json, which rejects non-finite float64 values.
+type qualitySampleJSON struct {
+	Evals        int      `json:"evals"`
+	Time         float64  `json:"time"`
+	BestDistance *float64 `json:"best_distance,omitempty"`
+	BestVehicles *float64 `json:"best_vehicles,omitempty"`
+	ArchiveSize  int      `json:"archive_size"`
+}
+
+// MarshalJSON implements json.Marshaler, omitting the best-feasible fields
+// while they are still +Inf.
+func (q QualitySample) MarshalJSON() ([]byte, error) {
+	w := qualitySampleJSON{Evals: q.Evals, Time: q.Time, ArchiveSize: q.ArchiveSize}
+	if !math.IsInf(q.BestDistance, 1) {
+		w.BestDistance = &q.BestDistance
+	}
+	if !math.IsInf(q.BestVehicles, 1) {
+		w.BestVehicles = &q.BestVehicles
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the +Inf sentinel
+// for omitted best-feasible fields so marshaling round-trips.
+func (q *QualitySample) UnmarshalJSON(data []byte) error {
+	var w qualitySampleJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	q.Evals, q.Time, q.ArchiveSize = w.Evals, w.Time, w.ArchiveSize
+	q.BestDistance, q.BestVehicles = math.Inf(1), math.Inf(1)
+	if w.BestDistance != nil {
+		q.BestDistance = *w.BestDistance
+	}
+	if w.BestVehicles != nil {
+		q.BestVehicles = *w.BestVehicles
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's experimental configuration.

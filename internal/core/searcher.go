@@ -5,11 +5,13 @@ import (
 
 	"repro/internal/construct"
 	"repro/internal/deme"
+	"repro/internal/metrics"
 	"repro/internal/operators"
 	"repro/internal/pareto"
 	"repro/internal/rng"
 	"repro/internal/solution"
 	"repro/internal/tabu"
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
@@ -66,6 +68,15 @@ type searcher struct {
 	sampleOn   bool
 	samples    []QualitySample
 	lastSample int
+
+	// Telemetry (all nil when disabled — every recording call below is a
+	// single branch then). tel is the whole layer for event emission, ts
+	// and ops are the hot-path groups, hvRef is the fixed hypervolume
+	// reference point of the periodic front-quality snapshots.
+	tel   *telemetry.Telemetry
+	ts    *telemetry.SearchStats
+	ops   *telemetry.OpTable
+	hvRef solution.Objectives
 }
 
 // procOutcome is what each algorithm body hands back to Run.
@@ -113,6 +124,34 @@ func (s *searcher) maybeSample(p deme.Proc) {
 		}
 	}
 	s.samples = append(s.samples, sm)
+
+	// Periodic front-quality snapshot on the telemetry stream: archive
+	// hypervolume (against the per-run reference fixed at init) and
+	// Schott's spacing, so convergence is observable while the run is
+	// still going.
+	if s.tel.Enabled() {
+		objs := metrics.FeasibleObjs(s.archive.Items())
+		fields := map[string]any{
+			"proc":         p.ID(),
+			"evals":        s.evals,
+			"iteration":    s.iter,
+			"time":         p.Now(),
+			"archive_size": s.archive.Len(),
+			"nondom_size":  s.nondom.Len(),
+			"hypervolume":  metrics.Hypervolume(objs, s.hvRef),
+			"spacing":      metrics.Spacing(objs),
+			"hv_ref": map[string]float64{
+				"distance":  s.hvRef.Distance,
+				"vehicles":  s.hvRef.Vehicles,
+				"tardiness": s.hvRef.Tardiness,
+			},
+		}
+		if !math.IsInf(sm.BestDistance, 1) {
+			fields["best_distance"] = sm.BestDistance
+			fields["best_vehicles"] = sm.BestVehicles
+		}
+		s.tel.Event("snapshot", fields)
+	}
 }
 
 // newSearcher builds a searcher with the given (possibly perturbed)
@@ -128,7 +167,7 @@ func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, ten
 	if restartIters <= 0 {
 		restartIters = cfg.RestartIterations
 	}
-	return &searcher{
+	s := &searcher{
 		in:           in,
 		cfg:          cfg,
 		gen:          operators.NewGenerator(in, cfg.Operators),
@@ -138,7 +177,15 @@ func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, ten
 		tl:           tabu.NewList(tenure),
 		nondom:       pareto.NewArchive(cfg.NondomSize),
 		archive:      pareto.NewArchive(cfg.ArchiveSize),
+		tel:          cfg.Telemetry,
+		ts:           cfg.Telemetry.SearchGroup(),
+		ops:          cfg.Telemetry.Operators(),
 	}
+	s.gen.DeltaStats = cfg.Telemetry.DeltaGroup()
+	s.gen.SpliceStats = cfg.Telemetry.SpliceGroup()
+	s.archive.SetStats(cfg.Telemetry.ArchiveGroup())
+	s.nondom.SetStats(cfg.Telemetry.NondomGroup())
+	return s
 }
 
 // init generates the initial solution with the randomized I1 heuristic,
@@ -147,9 +194,26 @@ func (s *searcher) init(p deme.Proc) {
 	s.cur = construct.I1(s.in, construct.RandomParams(s.r))
 	p.Compute(s.cfg.Cost.ConstructPerCustomer * float64(s.in.N()))
 	s.evals++
+	s.ts.Evals(1)
 	s.archive.Add(s.cur)
 	if s.rec != nil {
 		s.rec.add(0, 0, s.cur.Obj, true)
+	}
+	// Fix the hypervolume reference of the telemetry snapshots relative to
+	// the construction solution so successive snapshots are comparable
+	// within a run (emitted with every snapshot event for interpretation).
+	s.hvRef = solution.Objectives{
+		Distance:  2*s.cur.Obj.Distance + 1,
+		Vehicles:  s.cur.Obj.Vehicles + 1,
+		Tardiness: 2*s.cur.Obj.Tardiness + 1,
+	}
+	if s.tel.Enabled() {
+		s.tel.Event("init", map[string]any{
+			"proc":      p.ID(),
+			"distance":  s.cur.Obj.Distance,
+			"vehicles":  s.cur.Obj.Vehicles,
+			"tardiness": s.cur.Obj.Tardiness,
+		})
 	}
 }
 
@@ -171,8 +235,16 @@ func (s *searcher) generate(p deme.Proc, n int) []cand {
 		}
 		cost += s.cfg.Cost.evalCost(s.in, int(c.Obj.Vehicles))
 	}
+	// ops.Get is not inlinable; keep the disabled path free of the 200
+	// per-candidate calls by hoisting its nil check out of the loop.
+	if s.ops != nil {
+		for i := range cands {
+			s.ops.Get(cands[i].op).Propose()
+		}
+	}
 	p.Compute(cost)
 	s.evals += len(cands)
+	s.ts.Evals(len(cands))
 	return cands
 }
 
@@ -192,14 +264,33 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 			s.rec.add(s.iter+1, cands[i].born, cands[i].obj, false)
 		}
 	}
+	selectedOp := ""
 	if sel < 0 || s.noImprovement {
 		// Restart from the memories: M_nondom entries are consumed,
 		// archive entries survive.
-		s.restart()
+		noCandidate := sel < 0
+		consumed := s.restart()
+		s.ts.Restart(noCandidate, consumed)
+		if s.tel.Enabled() {
+			trigger := "stagnation"
+			if noCandidate {
+				trigger = "no_candidate"
+			}
+			s.tel.Event("restart", map[string]any{
+				"proc":            p.ID(),
+				"iteration":       s.iter,
+				"trigger":         trigger,
+				"nondom_consumed": consumed,
+				"nondom_size":     s.nondom.Len(),
+				"archive_size":    s.archive.Len(),
+			})
+		}
 		s.noImprovement = false
 	} else {
 		s.cur = cands[sel].materialize(s.in)
 		s.tl.Add(cands[sel].attr)
+		selectedOp = cands[sel].op
+		s.ops.Get(selectedOp).Select()
 	}
 	if s.rec != nil {
 		s.rec.add(s.iter+1, s.iter, s.cur.Obj, true)
@@ -216,6 +307,9 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	}
 	if s.archive.Add(s.cur) {
 		improved = true
+		if selectedOp != "" {
+			s.ops.Get(selectedOp).Accept()
+		}
 	}
 	if improved {
 		s.sinceImprove = 0
@@ -227,6 +321,7 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 		}
 	}
 	s.iter++
+	s.ts.Iteration()
 	s.maybeSample(p)
 	return improved
 }
@@ -257,8 +352,13 @@ func (s *searcher) selectCand(cands []cand, nd []int) int {
 	allowed := make([]int, 0, len(nd))
 	for _, i := range nd {
 		aspires := !s.cfg.DisableAspiration && s.archive.WouldAccept(cands[i].obj)
-		if !s.tl.Contains(cands[i].attr) || aspires {
+		if !s.tl.Contains(cands[i].attr) {
 			allowed = append(allowed, i)
+		} else if aspires {
+			s.ts.Aspiration()
+			allowed = append(allowed, i)
+		} else {
+			s.ts.TabuReject()
 		}
 	}
 	if len(allowed) == 0 {
@@ -286,18 +386,21 @@ func (s *searcher) done(p deme.Proc) bool {
 }
 
 // restart replaces the current solution with one drawn from
-// M_nondom ∪ M_archive, consuming M_nondom entries (the paper's ↓↑).
-func (s *searcher) restart() {
+// M_nondom ∪ M_archive, consuming M_nondom entries (the paper's ↓↑). It
+// returns how many M_nondom entries it consumed (0 or 1); archive entries
+// always survive.
+func (s *searcher) restart() int {
 	total := s.nondom.Len() + s.archive.Len()
 	if total == 0 {
-		return // keep the current solution; nothing to restart from
+		return 0 // keep the current solution; nothing to restart from
 	}
 	k := s.r.Intn(total)
 	if k < s.nondom.Len() {
 		s.cur = s.nondom.TakeRandom(s.r)
-		return
+		return 1
 	}
 	s.cur = s.archive.Random(s.r)
+	return 0
 }
 
 // mergeFronts collapses per-process archive snapshots into one

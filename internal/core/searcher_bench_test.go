@@ -4,12 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
 // benchSearcher builds a searcher on a 400-customer instance with the
-// paper's neighborhood size and an effectively unlimited budget.
-func benchSearcher(b *testing.B) (*searcher, *stubProc, int) {
+// paper's neighborhood size and an effectively unlimited budget. tel is
+// nil for the baseline (disabled telemetry) benchmarks.
+func benchSearcher(b *testing.B, tel *telemetry.Telemetry) (*searcher, *stubProc, int) {
 	b.Helper()
 	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
 	if err != nil {
@@ -17,6 +19,7 @@ func benchSearcher(b *testing.B) (*searcher, *stubProc, int) {
 	}
 	cfg := DefaultConfig()
 	cfg.MaxEvaluations = 1 << 60
+	cfg.Telemetry = tel
 	if err := cfg.validate(in, Sequential); err != nil {
 		b.Fatal(err)
 	}
@@ -31,7 +34,21 @@ func benchSearcher(b *testing.B) (*searcher, *stubProc, int) {
 // searcher materializes just the selected solution and the memory-bound
 // non-dominated entries.
 func BenchmarkSearcherIteration(b *testing.B) {
-	s, p, size := benchSearcher(b)
+	s, p, size := benchSearcher(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(p, s.generate(p, size))
+	}
+}
+
+// BenchmarkSearcherIterationTelemetry is the same iteration with every
+// instrument recording: the pair gates the enabled-telemetry overhead
+// (scripts/bench.sh writes the comparison to BENCH_telemetry.json; the
+// disabled layer is additionally pinned to <2% and zero extra allocations
+// against BenchmarkSearcherIteration).
+func BenchmarkSearcherIterationTelemetry(b *testing.B) {
+	s, p, size := benchSearcher(b, telemetry.New(nil, nil))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,7 +60,7 @@ func BenchmarkSearcherIteration(b *testing.B) {
 // every neighbor is fully materialized before selection, as the search did
 // before the schedule-cache refactor. Kept as the benchmark baseline.
 func BenchmarkSearcherIterationMaterialized(b *testing.B) {
-	s, p, size := benchSearcher(b)
+	s, p, size := benchSearcher(b, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

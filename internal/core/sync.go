@@ -39,6 +39,7 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			rm := m.Data.(resultMsg)
 			cands = append(cands, rm.cands...)
 			s.evals += len(rm.cands)
+			s.ts.Evals(len(rm.cands))
 			got++
 		}
 		s.step(p, cands)

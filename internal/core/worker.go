@@ -17,7 +17,12 @@ import (
 // boundary.
 func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, master int) {
 	gen := operators.NewGenerator(in, cfg.Operators)
+	gen.DeltaStats = cfg.Telemetry.DeltaGroup()
+	gen.SpliceStats = cfg.Telemetry.SpliceGroup()
+	ws := cfg.Telemetry.WorkerGroup()
+	ops := cfg.Telemetry.Operators()
 	for {
+		idleStart := p.Now()
 		m, ok := p.Recv()
 		if !ok || m.Tag == tagStop {
 			return
@@ -25,6 +30,7 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 		if m.Tag != tagWork {
 			continue // stray share/result messages are not for workers
 		}
+		busyStart := p.Now()
 		w := m.Data.(workMsg)
 		cs := gen.Candidates(w.cur, r, w.count)
 		cands := make([]cand, len(cs))
@@ -40,7 +46,13 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 			}
 			cost += cfg.Cost.evalCost(in, int(c.Obj.Vehicles))
 		}
+		if ops != nil {
+			for i := range cands {
+				ops.Get(cands[i].op).Propose()
+			}
+		}
 		p.Compute(cost)
 		p.Send(master, tagResult, resultMsg{cands: cands}, len(cands)*solBytes(in))
+		ws.Chunk(len(cands), busyStart-idleStart, p.Now()-busyStart)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/solution"
 	"repro/internal/tabu"
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
@@ -77,6 +78,12 @@ type Generator struct {
 	// Neighborhood call, preventing livelock on solutions with very few
 	// feasible moves. Defaults to 50 failures per requested neighbor.
 	MaxFailures int
+	// DeltaStats, when non-nil, counts delta-evaluated candidates vs.
+	// full-simulation Apply fallbacks; SpliceStats is handed to the
+	// schedule cache to classify SpliceMetrics exits. Both default to nil
+	// (disabled, one branch per candidate).
+	DeltaStats  *telemetry.DeltaStats
+	SpliceStats *telemetry.SpliceStats
 
 	lastEval *solution.Eval
 }
@@ -124,7 +131,10 @@ func (g *Generator) Candidates(s *solution.Solution, r *rng.Rand, size int) []Ca
 	for i, m := range moves {
 		obj, ok := m.Delta(g.in, s, e)
 		if !ok {
+			g.DeltaStats.Fallback()
 			obj = m.Apply(g.in, s).Obj
+		} else {
+			g.DeltaStats.Fast()
 		}
 		out[i] = Candidate{Move: m, Obj: obj}
 	}
@@ -139,6 +149,7 @@ func (g *Generator) eval(s *solution.Solution) *solution.Eval {
 	} else if g.lastEval.Solution() != s {
 		g.lastEval.Reset(g.in, s)
 	}
+	g.lastEval.Stats = g.SpliceStats
 	return g.lastEval
 }
 

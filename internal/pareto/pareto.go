@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/solution"
+	"repro/internal/telemetry"
 )
 
 // Archive is a bounded store of mutually non-dominated solutions.
@@ -19,7 +20,12 @@ import (
 type Archive struct {
 	capacity int
 	items    []*solution.Solution
+	stats    *telemetry.ArchiveStats
 }
+
+// SetStats attaches acceptance/rejection/eviction instrumentation. nil
+// (the default) disables it at the cost of one branch per Add outcome.
+func (a *Archive) SetStats(s *telemetry.ArchiveStats) { a.stats = s }
 
 // NewArchive returns an empty archive holding at most capacity solutions.
 // It panics if capacity < 1.
@@ -55,6 +61,7 @@ func (a *Archive) Snapshot() []*solution.Solution {
 func (a *Archive) Add(s *solution.Solution) bool {
 	for _, m := range a.items {
 		if m.Obj.WeaklyDominates(s.Obj) {
+			a.stats.Reject()
 			return false
 		}
 	}
@@ -68,6 +75,7 @@ func (a *Archive) Add(s *solution.Solution) bool {
 	a.items = a.items[:w]
 	a.items = append(a.items, s)
 	if len(a.items) <= a.capacity {
+		a.stats.Accept()
 		return true
 	}
 	// Evict the most crowded member.
@@ -81,7 +89,13 @@ func (a *Archive) Add(s *solution.Solution) bool {
 	evicted := a.items[victim]
 	a.items[victim] = a.items[len(a.items)-1]
 	a.items = a.items[:len(a.items)-1]
-	return evicted != s
+	a.stats.Evict()
+	if evicted != s {
+		a.stats.Accept()
+		return true
+	}
+	a.stats.Reject()
+	return false
 }
 
 // WouldImprove reports whether Add(s) would currently accept s, without

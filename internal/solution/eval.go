@@ -11,6 +11,7 @@ package solution
 import (
 	"math"
 
+	"repro/internal/telemetry"
 	"repro/internal/vrptw"
 )
 
@@ -97,6 +98,10 @@ func sized(buf []float64, n int) []float64 {
 type Eval struct {
 	sol *Solution
 	R   []RouteEval
+	// Stats, when non-nil, classifies every SpliceMetrics exit (prefix
+	// fold, suffix early exit, resynchronization, full walk). nil — the
+	// default — records nothing and costs one branch per exit.
+	Stats *telemetry.SpliceStats
 }
 
 // NewEval builds the schedule cache for every route of s.
@@ -156,6 +161,7 @@ func Single(cust int) Seg { return Seg{Route: -1, Cust: cust} }
 // incurs no further tardiness (arrival at or before Latest) or
 // resynchronizes with the cached schedule (equal departure times).
 func (e *Eval) SpliceMetrics(in *vrptw.Instance, segs ...Seg) (dist, tard float64) {
+	e.Stats.Call()
 	depot := &in.Sites[0]
 	t := depot.Ready
 	prev := 0
@@ -190,6 +196,7 @@ segments:
 
 		// A leading prefix of a cached route: fold in O(1).
 		if si == 0 && !seg.Rev && seg.From == 0 {
+			e.Stats.PrefixFold()
 			t = re.Depart[seg.To]
 			dist = re.Dist[seg.To]
 			tard = re.Tard[seg.To]
@@ -208,6 +215,7 @@ segments:
 				if arr <= re.Latest[j] {
 					// The whole remaining suffix is served without
 					// tardiness; its arcs are time-independent.
+					e.Stats.SuffixEarlyExit()
 					return dist + leg + totalDist - re.Dist[j+1], tard
 				}
 				dist += leg
@@ -222,6 +230,7 @@ segments:
 				if t == re.Depart[j+1] {
 					// Resynchronized with the cached schedule: the rest
 					// of the suffix behaves exactly as cached.
+					e.Stats.SuffixResync()
 					return dist + totalDist - re.Dist[j+1], tard + totalTard - re.Tard[j+1]
 				}
 			}
@@ -240,6 +249,9 @@ segments:
 		}
 	}
 
+	// No suffix shortcut applied: the splice was simulated all the way to
+	// the depot return.
+	e.Stats.FullWalk()
 	leg := in.Dist(prev, 0)
 	dist += leg
 	t += leg

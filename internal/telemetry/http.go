@@ -1,0 +1,76 @@
+package telemetry
+
+// Live observability endpoints for the goroutine backend: net/http/pprof
+// profiles, expvar (with the telemetry snapshot published as the
+// "telemetry" variable) and a plain /telemetry JSON snapshot. The sim
+// backend can serve them too, but profiles of virtual-time runs measure
+// the simulator, not the search.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	publishOnce sync.Once
+	current     atomic.Pointer[Telemetry]
+)
+
+// publish registers t as the process-wide expvar "telemetry" variable.
+// expvar names are process-global, so registration happens once and the
+// variable always reflects the most recently served layer.
+func publish(t *Telemetry) {
+	current.Store(t)
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return current.Load().Snapshot()
+		}))
+	})
+}
+
+// Server is a live observability endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing /debug/pprof/*,
+// /debug/vars (expvar, including the telemetry snapshot) and /telemetry.
+// It returns once the listener is bound; serving continues in the
+// background until Close.
+func Serve(addr string, t *Telemetry) (*Server, error) {
+	publish(t)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(current.Load().Snapshot()) //nolint:errcheck // diagnostics endpoint
+	})
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

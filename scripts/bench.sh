@@ -1,12 +1,28 @@
 #!/usr/bin/env bash
-# Runs the delta-evaluation benchmark set (per-candidate Delta vs Apply,
-# full neighborhood generation, and one searcher iteration on a
-# 400-customer instance) and records the results in BENCH_delta.json.
+# Runs the benchmark set and records the results:
+#   BENCH_delta.json     — delta-evaluation benchmarks (per-candidate Delta
+#                          vs Apply, neighborhood generation, one searcher
+#                          iteration on a 400-customer instance)
+#   BENCH_telemetry.json — disabled- vs enabled-telemetry searcher
+#                          iteration and the relative overhead
+#   BENCH_history.jsonl  — timestamped archive of every prior BENCH_*.json,
+#                          appended before each file is overwritten
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_delta.json
+HISTORY=BENCH_history.jsonl
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# archive FILE: append its current content to the history log so a fresh
+# run never silently destroys earlier numbers.
+archive() {
+  local f=$1
+  [ -s "$f" ] || return 0
+  printf '{"archived_at": "%s", "file": "%s", "results": %s}\n' \
+    "$STAMP" "$f" "$(tr -s ' \n' ' ' < "$f")" >> "$HISTORY"
+}
+
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -15,6 +31,7 @@ go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates200|Benchmark
 go test -run '^$' -bench 'BenchmarkSearcherIteration' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/core/ | tee -a "$TMP"
 
+archive BENCH_delta.json
 awk 'BEGIN { print "[" }
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -28,6 +45,30 @@ awk 'BEGIN { print "[" }
     if (n++) printf ",\n"
     printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
   }
-  END { print "\n]" }' "$TMP" > "$OUT"
+  END { print "\n]" }' "$TMP" > BENCH_delta.json
+echo "wrote BENCH_delta.json"
 
-echo "wrote $OUT"
+# The telemetry overhead report: the searcher iteration with the layer
+# disabled (nil — the production default) against every instrument
+# recording. The enabled overhead is informational; the disabled pair is
+# the one gated (<2% vs the recorded baseline, zero extra allocations —
+# see TestSearcherIterationTelemetryAllocs).
+archive BENCH_telemetry.json
+awk '
+  /^BenchmarkSearcherIteration-|^BenchmarkSearcherIteration / {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") dns = $(i-1); if ($i == "allocs/op") da = $(i-1) }
+  }
+  /^BenchmarkSearcherIterationTelemetry/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") ens = $(i-1); if ($i == "allocs/op") ea = $(i-1) }
+  }
+  END {
+    if (dns == "" || ens == "") { print "missing searcher iteration benchmarks" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSearcherIteration (R1, N=400)\",\n"
+    printf "  \"disabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", dns, da
+    printf "  \"enabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", ens, ea
+    printf "  \"enabled_overhead_pct\": %.2f,\n", (ens - dns) / dns * 100
+    printf "  \"enabled_extra_allocs\": %d\n", ea - da
+    printf "}\n"
+  }' "$TMP" > BENCH_telemetry.json
+echo "wrote BENCH_telemetry.json"
