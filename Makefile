@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race allocs bench profile verify
+.PHONY: build vet test race allocs chaos fuzz-smoke bench profile verify
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,22 @@ race:
 allocs:
 	$(GO) test -run 'TestDisabledZeroAlloc|TestEnabledZeroAlloc' -count 1 -v ./internal/telemetry/
 	$(GO) test -run 'TestSearcherIterationTelemetryAllocs' -count 1 -v ./internal/core/
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: every scenario must complete, stay bit-identical across
+# repetitions, and no variant may deadlock when a process dies.
+chaos:
+	$(GO) test -race -count 1 -v \
+	  -run 'TestChaosScenarios|TestChaosGoroutineNoDeadlock|TestSyncTrajectoryMatchesSequential|TestMalformedPayloadSurfacesAsError' \
+	  ./internal/core/
+	$(GO) test -race -count 1 -run 'TestFaulty|TestParseFaultPlans|TestGoroutineAlive' ./internal/deme/
+
+# fuzz-smoke runs each fuzz target for FUZZTIME (default 30s) on top of the
+# checked-in seed corpora.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDeltaMatchesApply -fuzztime $(FUZZTIME) ./internal/operators/
+	$(GO) test -run '^$$' -fuzz FuzzFeasibilityGuard -fuzztime $(FUZZTIME) ./internal/operators/
 
 # bench refreshes BENCH_delta.json and BENCH_telemetry.json via
 # scripts/bench.sh (prior numbers are archived to BENCH_history.jsonl).

@@ -43,6 +43,7 @@ type options struct {
 	archive  int
 	restart  int
 	backend  string
+	faults   string
 	jsonOut  string
 	trajOut  string
 	all      bool
@@ -73,6 +74,7 @@ func main() {
 	flag.IntVar(&o.archive, "archive", 20, "archive capacity")
 	flag.IntVar(&o.restart, "restart", 100, "restart after this many stagnant iterations")
 	flag.StringVar(&o.backend, "backend", "sim", "runtime backend: sim (deterministic Origin 3800) or goroutine")
+	flag.StringVar(&o.faults, "faults", "", `inject faults, e.g. "1:crash@5;0:drop=0.2,tags=2;*:skew=0.1" (see deme.ParseFaultPlans)`)
 	flag.StringVar(&o.jsonOut, "json", "", "write the front as JSON to this file")
 	flag.StringVar(&o.trajOut, "trajectory", "", "record the Figure-1 trajectory CSV to this file")
 	flag.BoolVar(&o.all, "all", false, "print infeasible front members too")
@@ -193,6 +195,15 @@ func run(o options) error {
 		rt = deme.NewGoroutine()
 	default:
 		return fmt.Errorf("unknown backend %q", o.backend)
+	}
+	if o.faults != "" {
+		plans, err := deme.ParseFaultPlans(o.faults)
+		if err != nil {
+			return err
+		}
+		frt := deme.NewFaulty(rt, plans)
+		frt.Faults = tel.FaultGroup()
+		rt = frt
 	}
 
 	tel.Event("run_start", map[string]any{

@@ -119,6 +119,11 @@ func TestRunErrors(t *testing.T) {
 			o.logLevel = "loud"
 			return o
 		},
+		"bad fault spec": func() options {
+			o := baseOptions()
+			o.faults = "1:explode@3"
+			return o
+		},
 	}
 	for name, f := range cases {
 		if run(f()) == nil {
@@ -230,5 +235,56 @@ func TestRunTelemetryReport(t *testing.T) {
 	search := counters["search"].(map[string]any)
 	if n, _ := search["iterations"].(float64); n == 0 {
 		t.Error("search iterations counter is zero")
+	}
+}
+
+// TestRunWithFaults drives the -faults flag end to end: a synchronous run
+// that loses a worker mid-flight must still complete, and the telemetry
+// summary must account for the injected crash and the recovery.
+func TestRunWithFaults(t *testing.T) {
+	dir := t.TempDir()
+	o := baseOptions()
+	o.algName = "synchronous"
+	o.procs = 3
+	o.evals = 1500
+	o.faults = "1:crash@2"
+	o.telemetryOut = filepath.Join(dir, "run.jsonl")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(o.telemetryOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var summary map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if name, _ := rec["event"].(string); name == "summary" {
+			summary = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counters, ok := summary["counters"].(map[string]any)
+	if !ok {
+		t.Fatal("summary has no counters object")
+	}
+	faults, ok := counters["faults"].(map[string]any)
+	if !ok {
+		t.Fatalf("no fault stats in summary: %v", counters["faults"])
+	}
+	if n, _ := faults["crashes"].(float64); n == 0 {
+		t.Errorf("crashes counter is zero: %v", faults)
+	}
+	if n, _ := faults["worker_evictions"].(float64); n == 0 {
+		t.Errorf("worker_evictions counter is zero: %v", faults)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/deme"
 	"repro/internal/rng"
 	"repro/internal/solution"
@@ -16,6 +18,14 @@ import (
 // iteration's candidate set, so the considered set can mix neighbors of
 // several past current solutions (the paper's Figure 1).
 //
+// Self-healing: silent workers are treated as idle rather than waited on.
+// A worker that crashed (Proc.Alive false) is evicted immediately; one
+// that stays busy past Config.RecvTimeout collects a strike per dispatch
+// and is evicted after Config.EvictAfter strikes. Evictions rebalance the
+// chunk size over the remaining workers, and an evicted worker that later
+// delivers a result is re-admitted. With every worker gone the master
+// degrades to a sequential searcher that no longer waits at all.
+//
 // When peers is non-empty the master additionally behaves like a
 // collaborative searcher toward those processes (the paper's future-work
 // combination): improving solutions are sent to one peer chosen by a
@@ -26,47 +36,135 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 	s.rec = rec
 	s.sampleOn = rec != nil || len(peers) == 0 || p.ID() == 0
 	s.init(p)
+	fg := cfg.Telemetry.FaultGroup()
 
+	initial := append([]int(nil), workers...)
+	workers = append([]int(nil), workers...)
 	chunk := s.neighborhood / (len(workers) + 1)
 	if chunk < 1 {
 		chunk = 1
 	}
-	idle := make(map[int]bool, len(workers))
+	rebalance := func() {
+		chunk = s.neighborhood / (len(workers) + 1)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	idle := make([]bool, p.P())
+	sentAt := make([]float64, p.P())
+	struck := make([]bool, p.P()) // this dispatch already collected its strike
+	strikes := make([]int, p.P())
 	for _, w := range workers {
 		idle[w] = true
 	}
+	inSet := func(w int) bool {
+		for _, v := range workers {
+			if v == w {
+				return true
+			}
+		}
+		return false
+	}
+	wasInitial := func(w int) bool {
+		for _, v := range initial {
+			if v == w {
+				return true
+			}
+		}
+		return false
+	}
+	// reap drops dead workers immediately and strikes (and eventually
+	// evicts) busy ones whose reply is overdue, so the decision function
+	// never keeps waiting on a silent worker.
+	reap := func() {
+		changed := false
+		kept := workers[:0]
+		for _, w := range workers {
+			if !p.Alive(w) {
+				fg.Evicted()
+				idle[w] = false
+				changed = true
+				continue
+			}
+			if !idle[w] && p.Now()-sentAt[w] > cfg.RecvTimeout {
+				if !struck[w] {
+					struck[w] = true
+					strikes[w]++
+					fg.RecvTimeout()
+				}
+				if strikes[w] >= cfg.EvictAfter {
+					fg.Evicted()
+					idle[w] = false
+					changed = true
+					continue
+				}
+			}
+			kept = append(kept, w)
+		}
+		workers = kept
+		if changed {
+			rebalance()
+		}
+	}
+
 	commList := append([]int(nil), peers...)
 	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
 	initialPhase := true
 	shares := 0
 
 	var pending []cand
+	var protoErr error
 
 	as := cfg.Telemetry.AsyncGroup()
 	sh := cfg.Telemetry.ShareGroup()
 
 	// handle folds one message into the master state.
-	handle := func(m deme.Message) {
+	handle := func(m deme.Message) error {
 		switch m.Tag {
 		case tagResult:
-			rm := m.Data.(resultMsg)
+			rm, ok := m.Data.(resultMsg)
+			if !ok {
+				fg.Malformed()
+				return fmt.Errorf("worker %d sent a malformed result payload %T", m.From, m.Data)
+			}
 			pending = append(pending, rm.cands...)
 			s.evals += len(rm.cands)
 			s.ts.Evals(len(rm.cands))
-			idle[m.From] = true
+			strikes[m.From], struck[m.From] = 0, false
+			if inSet(m.From) {
+				idle[m.From] = true
+			} else if wasInitial(m.From) && p.Alive(m.From) {
+				// An evicted worker came back (e.g. its stall ended):
+				// re-admit it.
+				fg.Revived()
+				workers = append(workers, m.From)
+				idle[m.From] = true
+				rebalance()
+			}
 		case tagShare:
-			sol := m.Data.(*solution.Solution)
+			sol, ok := m.Data.(*solution.Solution)
+			if !ok {
+				fg.Malformed()
+				return fmt.Errorf("peer %d sent a malformed share payload %T", m.From, m.Data)
+			}
 			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
 			sh.Received(s.nondom.Add(sol))
 		}
+		return nil
 	}
 
-	for !s.done(p) {
+	for !s.done(p) && protoErr == nil {
+		reap()
+		if len(workers) < len(initial) {
+			fg.DegradedIteration()
+		}
 		// Dispatch new work to every idle worker.
 		for _, w := range workers {
 			if idle[w] {
 				p.Send(w, tagWork, workMsg{cur: s.cur, count: chunk, iter: s.iter}, solBytes(in))
 				idle[w] = false
+				sentAt[w] = p.Now()
+				struck[w] = false
 			}
 		}
 		// The master's own share of the neighborhood.
@@ -84,31 +182,40 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 		// arriving within one quantum, mirroring the framework's
 		// periodic message polling; this is what lets the bunched
 		// worker replies of one round join the same iteration instead
-		// of straggling into the next.
+		// of straggling into the next. A master with no workers left
+		// skips the wait entirely (c1: everyone is trivially idle).
 		waitStart := p.Now()
 		deadline := waitStart + cfg.WaitTimeout
 		poll := cfg.WaitTimeout / 3
 		collectQuantum := func() {
 			tick := p.Now() + poll
-			for p.Now() < tick {
+			for p.Now() < tick && protoErr == nil {
 				m, ok := p.RecvTimeout(tick - p.Now())
 				if !ok {
 					return
 				}
-				handle(m)
+				protoErr = handle(m)
 			}
 		}
-		collectQuantum()
 		fired := telemetry.FireTimeout // c3 unless another condition breaks first
-		for {
+		if len(workers) > 0 {
+			collectQuantum()
+		}
+		for protoErr == nil {
 			for {
 				m, ok := p.TryRecv()
 				if !ok {
 					break
 				}
-				handle(m)
+				if protoErr = handle(m); protoErr != nil {
+					break
+				}
 			}
-			c1 := false
+			if protoErr != nil {
+				break
+			}
+			reap()
+			c1 := len(workers) == 0 // nothing left to wait on
 			for _, w := range workers {
 				if idle[w] {
 					c1 = true
@@ -139,6 +246,9 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			}
 			collectQuantum()
 		}
+		if protoErr != nil {
+			break
+		}
 		as.Fire(fired)
 		if as != nil {
 			late := 0
@@ -157,11 +267,31 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			initialPhase = false
 		}
 		if len(commList) > 0 && !initialPhase && improved {
-			shares += sendShare(p, in, cfg, s.cur, &commList)
+			dropDeadPeers(p, &commList, fg)
+			if len(commList) > 0 {
+				shares += sendShare(p, in, cfg, s.cur, &commList)
+			}
 		}
 	}
-	for _, w := range workers {
+	for _, w := range initial {
 		p.Send(w, tagStop, nil, 0)
 	}
+	if protoErr != nil {
+		return s.failOutcome(protoErr)
+	}
 	return s.outcome(shares)
+}
+
+// dropDeadPeers removes peers whose process is gone — crashed or already
+// finished — from a share ring, so searchers stop addressing the dead.
+func dropDeadPeers(p deme.Proc, commList *[]int, fg *telemetry.FaultStats) {
+	kept := (*commList)[:0]
+	for _, peer := range *commList {
+		if p.Alive(peer) {
+			kept = append(kept, peer)
+		} else {
+			fg.PeerDrop()
+		}
+	}
+	*commList = kept
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/deme"
 	"repro/internal/rng"
 	"repro/internal/solution"
@@ -14,6 +16,11 @@ import (
 // improving solution is sent to exactly one other process, chosen by a
 // rotating communication list initialized to a random order; received
 // solutions are merged into the medium-term memory M_nondom.
+//
+// Self-healing: peers whose process is gone — crashed, or simply finished
+// earlier — are dropped from the communication list before each share, so
+// a searcher never keeps addressing the dead. Receiving is non-blocking
+// (TryRecv), so a dead peer can never deadlock a searcher.
 func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
 	nbh, tenure, restart := cfg.NeighborhoodSize, cfg.TabuTenure, cfg.RestartIterations
 	if p.ID() > 0 {
@@ -36,6 +43,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 	initialPhase := true
 	shares := 0
 	sh := cfg.Telemetry.ShareGroup()
+	fg := cfg.Telemetry.FaultGroup()
 
 	for !s.done(p) {
 		// Fold in solutions shared by the other searchers.
@@ -47,7 +55,11 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			if m.Tag != tagShare {
 				continue
 			}
-			sol := m.Data.(*solution.Solution)
+			sol, okPayload := m.Data.(*solution.Solution)
+			if !okPayload {
+				fg.Malformed()
+				return s.failOutcome(fmt.Errorf("peer %d sent a malformed share payload %T", m.From, m.Data))
+			}
 			// Deserializing a foreign solution and checking it
 			// against the 50-entry M_nondom costs several times a
 			// plain neighbor update.
@@ -65,7 +77,10 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			initialPhase = false
 		}
 		if !initialPhase && improved && len(commList) > 0 {
-			shares += sendShare(p, in, cfg, s.cur, &commList)
+			dropDeadPeers(p, &commList, fg)
+			if len(commList) > 0 {
+				shares += sendShare(p, in, cfg, s.cur, &commList)
+			}
 		}
 	}
 	return s.outcome(shares)

@@ -145,6 +145,17 @@ type Config struct {
 	// threshold (decision-function condition c3) in runtime seconds.
 	// 0 picks 1.5× the expected worker chunk time.
 	WaitTimeout float64
+	// RecvTimeout is the failure-suspicion threshold of the self-healing
+	// layer, in runtime seconds: how long a master waits on a worker
+	// result (and a worker on its next work chunk) before suspecting the
+	// peer is gone and re-dispatching / re-checking. 0 picks 30× the
+	// expected worker chunk time — far above the machine model's worst
+	// transient stall, so fault-free runs never trip it.
+	RecvTimeout float64
+	// EvictAfter is the number of consecutive RecvTimeout strikes after
+	// which a silent-but-alive worker is evicted from its master's worker
+	// set (crashed workers are evicted immediately). 0 picks 2.
+	EvictAfter int
 	// Cost is the virtual cost model for the simulated backend.
 	Cost CostModel
 	// RecordTrajectory enables the per-candidate trajectory recording
@@ -288,17 +299,23 @@ func (c *Config) validate(in *vrptw.Instance, alg Algorithm) error {
 	default:
 		return fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
+	chunk := c.NeighborhoodSize / c.Processors
+	if chunk < 1 {
+		chunk = 1
+	}
+	// Expected per-candidate cost including the route-length term
+	// (typical routes carry ~10 customers) and the machine's mean
+	// stall inflation (~1.7 on the Origin 3800 model).
+	per := 1.7 * (c.Cost.EvalBase + c.Cost.EvalPerCustomer*float64(in.N()) +
+		c.Cost.EvalPerRouteCustomer*20)
 	if c.WaitTimeout == 0 {
-		chunk := c.NeighborhoodSize / c.Processors
-		if chunk < 1 {
-			chunk = 1
-		}
-		// Expected per-candidate cost including the route-length term
-		// (typical routes carry ~10 customers) and the machine's mean
-		// stall inflation (~1.7 on the Origin 3800 model).
-		per := 1.7 * (c.Cost.EvalBase + c.Cost.EvalPerCustomer*float64(in.N()) +
-			c.Cost.EvalPerRouteCustomer*20)
 		c.WaitTimeout = 1.5 * float64(chunk) * per
+	}
+	if c.RecvTimeout == 0 {
+		c.RecvTimeout = 30 * float64(chunk) * per
+	}
+	if c.EvictAfter == 0 {
+		c.EvictAfter = 2
 	}
 	return nil
 }

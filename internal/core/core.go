@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/deme"
+	"repro/internal/operators"
 	"repro/internal/rng"
 	"repro/internal/solution"
 	"repro/internal/vrptw"
@@ -37,16 +38,27 @@ const (
 	tagShare             // searcher -> searcher: *solution.Solution
 )
 
-// workMsg carries one chunk of neighborhood work.
+// workMsg carries one chunk of neighborhood work. The asynchronous master
+// sends only the current solution and a count (workers propose their own
+// moves); the synchronous master additionally ships the move slice it
+// proposed itself — keeping its random stream identical to the sequential
+// searcher's — for the worker to delta-evaluate.
 type workMsg struct {
 	cur   *solution.Solution
 	count int
 	iter  int
+	moves []operators.Move // non-nil: evaluate exactly these (synchronous)
+	lo    int              // offset of moves in the master's neighborhood
 }
 
-// resultMsg carries a chunk of evaluated candidates back to the master.
+// resultMsg carries a chunk of evaluated work back to the master: full
+// candidates for the asynchronous variant, objectives-only spans (aligned
+// with the shipped move slice) for the synchronous one.
 type resultMsg struct {
 	cands []cand
+	objs  []solution.Objectives // synchronous reply: objs[i] belongs to moves[lo+i]
+	lo    int
+	iter  int
 }
 
 // Run executes the selected TSMO variant on the instance with the given
@@ -106,6 +118,11 @@ func Run(alg Algorithm, in *vrptw.Instance, cfg Config, rt deme.Runtime) (*Resul
 	}
 	if err := rt.Run(cfg.Processors, body); err != nil {
 		return nil, fmt.Errorf("core: %v run failed: %w", alg, err)
+	}
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return nil, fmt.Errorf("core: %v run failed on process %d: %w", alg, i, outcomes[i].err)
+		}
 	}
 
 	fronts := make([][]*solution.Solution, len(outcomes))

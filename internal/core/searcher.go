@@ -86,6 +86,7 @@ type procOutcome struct {
 	iters   int
 	shares  int
 	samples []QualitySample
+	err     error // a malformed payload or similar protocol violation
 }
 
 // outcome packages the searcher's final state.
@@ -97,6 +98,32 @@ func (s *searcher) outcome(shares int) procOutcome {
 		shares:  shares,
 		samples: s.samples,
 	}
+}
+
+// failOutcome packages the searcher's state with a protocol error that Run
+// surfaces to the caller instead of a panic.
+func (s *searcher) failOutcome(err error) procOutcome {
+	o := s.outcome(0)
+	o.err = err
+	return o
+}
+
+// evalSpan delta-evaluates an already-proposed move span of the current
+// solution into objs (len(objs) == len(moves)), charging the modeled
+// evaluation cost. The synchronous master uses it for its own chunk and to
+// re-evaluate chunks lost to dead workers; the result is bit-identical to
+// what the worker would have returned.
+func (s *searcher) evalSpan(p deme.Proc, moves []operators.Move, objs []solution.Objectives) {
+	if len(moves) == 0 {
+		return
+	}
+	cs := s.gen.EvalMoves(s.cur, moves)
+	var cost float64
+	for i := range cs {
+		objs[i] = cs[i].Obj
+		cost += s.cfg.Cost.evalCost(s.in, int(cs[i].Obj.Vehicles))
+	}
+	p.Compute(cost)
 }
 
 // maybeSample records a convergence sample when due.

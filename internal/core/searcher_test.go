@@ -23,6 +23,7 @@ func (s *stubProc) Send(int, int, any, int)                  {}
 func (s *stubProc) TryRecv() (deme.Message, bool)            { return deme.Message{}, false }
 func (s *stubProc) Recv() (deme.Message, bool)               { return deme.Message{}, false }
 func (s *stubProc) RecvTimeout(float64) (deme.Message, bool) { return deme.Message{}, false }
+func (s *stubProc) Alive(int) bool                           { return false }
 
 func mkCand(d, v, tr float64, attr tabu.Attribute) cand {
 	obj := solution.Objectives{Distance: d, Vehicles: v, Tardiness: tr}

@@ -1,51 +1,174 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/deme"
 	"repro/internal/rng"
+	"repro/internal/solution"
 	"repro/internal/vrptw"
 )
 
+// span is one outstanding work chunk: the index range [lo, hi) of the
+// iteration's move list dispatched to worker w. Kept in a slice (not a
+// map) so the recovery path iterates in a deterministic order.
+type span struct{ w, lo, hi int }
+
 // syncMaster runs the synchronous master–worker variant (§III.C): each
-// iteration the master ships the current solution and a chunk size to every
-// worker, computes its own chunk, then blocks until every worker's results
-// are back before selecting — so the search trajectory is exactly the
-// sequential one (given the same random streams) and only the runtime
-// changes.
+// iteration the master proposes the whole neighborhood from its own random
+// stream — so the search trajectory is exactly the sequential one — ships
+// index-aligned move spans to the workers for delta evaluation, evaluates
+// its own span, and reassembles the objectives before selecting.
+//
+// The master self-heals: every receive carries Config.RecvTimeout, an
+// expired deadline re-evaluates the outstanding spans locally (the result
+// is bit-identical to the lost reply, so faults never change the
+// trajectory), persistently silent workers are evicted after
+// Config.EvictAfter strikes, crashed workers immediately, and with no
+// workers left the master degrades to the plain sequential searcher.
 func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = true
 	s.init(p)
-	procs := p.P()
-	per := s.neighborhood / procs
-	own := s.neighborhood - per*(procs-1) // master absorbs the remainder
+	fg := cfg.Telemetry.FaultGroup()
+
+	alive := procRange(1, p.P())
+	strikes := make([]int, p.P())
+	evict := func(w int) {
+		for i, a := range alive {
+			if a == w {
+				alive = append(alive[:i], alive[i+1:]...)
+				fg.Evicted()
+				return
+			}
+		}
+	}
+
+	var objs []solution.Objectives
+	var outstanding []span
 	for !s.done(p) {
-		for w := 1; w < procs; w++ {
-			p.Send(w, tagWork, workMsg{cur: s.cur, count: per, iter: s.iter}, solBytes(in))
+		// Reap workers that crashed or exited since the last iteration.
+		kept := alive[:0]
+		for _, w := range alive {
+			if p.Alive(w) {
+				kept = append(kept, w)
+			} else {
+				fg.Evicted()
+			}
 		}
-		cands := s.generate(p, own)
-		if len(cands) == 0 {
-			s.evals++
+		alive = kept
+		if len(alive) < p.P()-1 {
+			fg.DegradedIteration()
 		}
-		for got := 0; got < procs-1; {
-			m, ok := p.Recv()
+
+		moves := s.gen.Moves(s.cur, s.r, s.neighborhood)
+		n := len(moves)
+		if s.ops != nil {
+			for _, m := range moves {
+				s.ops.Get(m.Operator()).Propose()
+			}
+		}
+		if cap(objs) < n {
+			objs = make([]solution.Objectives, n)
+		}
+		objs = objs[:n]
+
+		// Even spans per worker; the master absorbs the remainder (all of
+		// it once every worker is gone — the sequential degradation).
+		per := n / (len(alive) + 1)
+		outstanding = outstanding[:0]
+		lo := 0
+		if per > 0 {
+			for _, w := range alive {
+				hi := lo + per
+				p.Send(w, tagWork, workMsg{cur: s.cur, moves: moves[lo:hi], lo: lo, iter: s.iter}, solBytes(in))
+				outstanding = append(outstanding, span{w: w, lo: lo, hi: hi})
+				lo = hi
+			}
+		}
+		s.evalSpan(p, moves[lo:], objs[lo:])
+
+		for len(outstanding) > 0 {
+			m, ok := p.RecvTimeout(cfg.RecvTimeout)
 			if !ok {
+				// Deadline expired (or the system drained): strike every
+				// outstanding worker and recover its span locally.
+				fg.RecvTimeout()
+				for _, sp := range outstanding {
+					strikes[sp.w]++
+					fg.Redispatch()
+					s.evalSpan(p, moves[sp.lo:sp.hi], objs[sp.lo:sp.hi])
+					if strikes[sp.w] >= cfg.EvictAfter || !p.Alive(sp.w) {
+						evict(sp.w)
+					}
+				}
+				outstanding = outstanding[:0]
 				break
 			}
 			if m.Tag != tagResult {
+				continue // stray share traffic is not for a sync master
+			}
+			rm, okPayload := m.Data.(resultMsg)
+			if !okPayload {
+				fg.Malformed()
+				stopWorkers(p)
+				return s.failOutcome(fmt.Errorf("worker %d sent a malformed result payload %T", m.From, m.Data))
+			}
+			idx := -1
+			for i, sp := range outstanding {
+				if sp.w == m.From && sp.lo == rm.lo && rm.iter == s.iter {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// A duplicate, or a late reply to a chunk already
+				// recovered locally or belonging to a past iteration.
+				fg.Stale()
 				continue
 			}
-			rm := m.Data.(resultMsg)
-			cands = append(cands, rm.cands...)
-			s.evals += len(rm.cands)
-			s.ts.Evals(len(rm.cands))
-			got++
+			sp := outstanding[idx]
+			if len(rm.objs) != sp.hi-sp.lo {
+				fg.Malformed()
+				stopWorkers(p)
+				return s.failOutcome(fmt.Errorf("worker %d returned %d objectives for a %d-move span",
+					m.From, len(rm.objs), sp.hi-sp.lo))
+			}
+			copy(objs[sp.lo:sp.hi], rm.objs)
+			strikes[sp.w] = 0
+			outstanding = append(outstanding[:idx], outstanding[idx+1:]...)
+		}
+
+		s.evals += n
+		s.ts.Evals(n)
+		if n == 0 {
+			// Degenerate instance with no feasible moves: charge the
+			// failed attempt so the budget still runs out (as sequential).
+			s.evals++
+		}
+		cands := make([]cand, n)
+		for i, m := range moves {
+			cands[i] = cand{
+				move: m,
+				base: s.cur,
+				obj:  objs[i],
+				attr: m.Attribute(),
+				op:   m.Operator(),
+				born: s.iter,
+			}
 		}
 		s.step(p, cands)
 	}
-	for w := 1; w < procs; w++ {
+	stopWorkers(p)
+	return s.outcome(0)
+}
+
+// stopWorkers tells every originally-assigned worker to terminate. Evicted
+// or crashed workers are included: mail to a finished process is silently
+// never delivered, and a stalled-but-alive one needs the stop to exit.
+func stopWorkers(p deme.Proc) {
+	for w := 1; w < p.P(); w++ {
 		p.Send(w, tagStop, nil, 0)
 	}
-	return s.outcome(0)
 }

@@ -4,34 +4,64 @@ import (
 	"repro/internal/deme"
 	"repro/internal/operators"
 	"repro/internal/rng"
+	"repro/internal/solution"
 	"repro/internal/vrptw"
 )
 
 // workerLoop services work requests from a master until it receives a stop
-// message (or the system drains): it generates and delta-evaluates the
-// requested number of neighbors of the received current solution and sends
-// the objectives-only chunk back; the master materializes whichever
-// candidates it selects. Both the synchronous and the asynchronous variants
-// use the same worker. Received solutions are immutable and every worker
-// builds its own schedule cache, so nothing mutable crosses the goroutine
-// boundary.
+// message, the system drains, or the master dies. Two request shapes are
+// served: the asynchronous master sends a count and the worker proposes
+// and delta-evaluates its own neighbors (sending full candidates back);
+// the synchronous master ships the move span it proposed itself and the
+// worker only delta-evaluates it (sending an index-aligned objectives
+// span back). Received solutions are immutable and every worker builds its
+// own schedule cache, so nothing mutable crosses the goroutine boundary.
+//
+// Receives are bounded by Config.RecvTimeout so an orphaned worker — its
+// master crashed before sending tagStop — notices via Proc.Alive and exits
+// instead of blocking forever.
 func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, master int) {
 	gen := operators.NewGenerator(in, cfg.Operators)
 	gen.DeltaStats = cfg.Telemetry.DeltaGroup()
 	gen.SpliceStats = cfg.Telemetry.SpliceGroup()
 	ws := cfg.Telemetry.WorkerGroup()
 	ops := cfg.Telemetry.Operators()
+	fg := cfg.Telemetry.FaultGroup()
 	for {
 		idleStart := p.Now()
-		m, ok := p.Recv()
-		if !ok || m.Tag == tagStop {
+		m, ok := p.RecvTimeout(cfg.RecvTimeout)
+		if !ok {
+			if !p.Alive(master) {
+				return // orphaned: the master is gone, no stop will come
+			}
+			continue // plain timeout (or drained system with a live master)
+		}
+		if m.Tag == tagStop {
 			return
 		}
 		if m.Tag != tagWork {
 			continue // stray share/result messages are not for workers
 		}
 		busyStart := p.Now()
-		w := m.Data.(workMsg)
+		w, okPayload := m.Data.(workMsg)
+		if !okPayload {
+			fg.Malformed()
+			continue // the master guards its own payloads; drop garbage here
+		}
+		if w.moves != nil {
+			// Synchronous span: evaluate exactly the shipped moves.
+			cs := gen.EvalMoves(w.cur, w.moves)
+			objs := make([]solution.Objectives, len(cs))
+			var cost float64
+			for i := range cs {
+				objs[i] = cs[i].Obj
+				cost += cfg.Cost.evalCost(in, int(cs[i].Obj.Vehicles))
+			}
+			p.Compute(cost)
+			p.Send(master, tagResult, resultMsg{objs: objs, lo: w.lo, iter: w.iter}, len(objs)*solBytes(in))
+			ws.Chunk(len(objs), busyStart-idleStart, p.Now()-busyStart)
+			continue
+		}
 		cs := gen.Candidates(w.cur, r, w.count)
 		cands := make([]cand, len(cs))
 		var cost float64

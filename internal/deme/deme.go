@@ -55,6 +55,10 @@ type Proc interface {
 	// RecvTimeout is Recv with a deadline of now+seconds; ok is false on
 	// timeout or global completion.
 	RecvTimeout(seconds float64) (Message, bool)
+	// Alive reports whether process id's body is still running. A process
+	// whose body returned — normally or through a fault — is not alive;
+	// masters use this to stop waiting on dead workers.
+	Alive(id int) bool
 }
 
 // Runtime executes a set of process bodies to completion.

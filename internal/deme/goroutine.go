@@ -29,6 +29,7 @@ type goProc struct {
 	queue  []Message
 	notify chan struct{} // capacity 1; pinged on push and on run-state changes
 	stat   ProcStats
+	done   bool // body returned; guarded by run.mu
 }
 
 // goRun holds the shared state of one Run. mu guards queue contents and
@@ -105,6 +106,14 @@ func (p *goProc) popLocked() (Message, bool) {
 	p.queue = p.queue[1:]
 	p.stat.MsgsReceived++
 	return m, true
+}
+
+// Alive implements Proc.
+func (p *goProc) Alive(id int) bool {
+	r := p.run
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.procs[id].done
 }
 
 // Recv implements Proc.
@@ -207,6 +216,7 @@ func (g *Goroutine) Run(n int, body func(Proc)) error {
 				}
 				run.mu.Lock()
 				run.live--
+				p.done = true
 				run.mu.Unlock()
 				// Wake every blocked receiver so it can observe
 				// the new live count.

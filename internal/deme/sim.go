@@ -166,6 +166,10 @@ func (p *simProc) RecvTimeout(seconds float64) (Message, bool) {
 	return p.replyMsg, p.replyOK
 }
 
+// Alive implements Proc. Exactly one goroutine of a Sim runs at a time, so
+// reading a sibling's state is race-free.
+func (p *simProc) Alive(id int) bool { return p.sim.procs[id].state != stDone }
+
 // yield hands control to the scheduler and waits to be resumed.
 func (p *simProc) yield() {
 	p.sim.yield <- p

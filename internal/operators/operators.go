@@ -125,7 +125,18 @@ type Candidate struct {
 // per candidate. Every returned candidate counts as one objective-function
 // evaluation, exactly like a materialized neighbor.
 func (g *Generator) Candidates(s *solution.Solution, r *rng.Rand, size int) []Candidate {
-	moves := g.Moves(s, r, size)
+	return g.EvalMoves(s, g.Moves(s, r, size))
+}
+
+// EvalMoves delta-evaluates an already-proposed move set against s's
+// schedule cache, falling back to Apply per move when the delta declines.
+// The synchronous master proposes the whole neighborhood itself (keeping
+// its random stream — and so its trajectory — identical to the sequential
+// searcher's) and ships move slices to the workers, who evaluate them with
+// this method. Evaluation is deterministic in (s, moves): a chunk
+// re-evaluated by the master after a worker loss yields bit-identical
+// objectives.
+func (g *Generator) EvalMoves(s *solution.Solution, moves []Move) []Candidate {
 	e := g.eval(s)
 	out := make([]Candidate, len(moves))
 	for i, m := range moves {

@@ -415,6 +415,135 @@ func (s *SpliceStats) FullWalk() {
 	s.FullWalks.Inc()
 }
 
+// FaultStats instruments the fault-injection runtime (deme.Faulty) and the
+// self-healing reactions of the parallel variants. The injection counters
+// record faults as they fire; the recovery counters record how the masters
+// and searchers absorbed them (timeouts, local re-evaluation of lost
+// chunks, evictions of persistently silent workers, iterations run with a
+// reduced worker set).
+type FaultStats struct {
+	// Injection side (deme.Faulty).
+	MsgsDropped    Counter // incoming messages silently discarded
+	MsgsDuplicated Counter // incoming messages delivered twice
+	MsgsDelayed    Counter // incoming messages held back
+	Crashes        Counter // processes terminated by a crash-at-time fault
+	Stalls         Counter // stall windows served
+
+	// Recovery side (core masters and searchers).
+	RecvTimeouts    Counter // receive deadlines that expired on a master
+	Redispatches    Counter // work chunks re-evaluated after a silent worker
+	StaleResults    Counter // results discarded as duplicate or out-of-iteration
+	WorkerEvictions Counter // workers removed after persistent silence or death
+	WorkerRevivals  Counter // evicted workers re-admitted after a late result
+	PeerDrops       Counter // dead peers removed from a share ring
+	DegradedIters   Counter // master iterations run with a reduced worker set
+	MalformedMsgs   Counter // payloads that failed their type assertion
+}
+
+// Dropped counts one discarded incoming message.
+func (f *FaultStats) Dropped() {
+	if f == nil {
+		return
+	}
+	f.MsgsDropped.Inc()
+}
+
+// Duplicated counts one duplicated incoming message.
+func (f *FaultStats) Duplicated() {
+	if f == nil {
+		return
+	}
+	f.MsgsDuplicated.Inc()
+}
+
+// Delayed counts one delayed incoming message.
+func (f *FaultStats) Delayed() {
+	if f == nil {
+		return
+	}
+	f.MsgsDelayed.Inc()
+}
+
+// Crashed counts one crash-at-time firing.
+func (f *FaultStats) Crashed() {
+	if f == nil {
+		return
+	}
+	f.Crashes.Inc()
+}
+
+// Stalled counts one served stall window.
+func (f *FaultStats) Stalled() {
+	if f == nil {
+		return
+	}
+	f.Stalls.Inc()
+}
+
+// RecvTimeout counts one expired receive deadline.
+func (f *FaultStats) RecvTimeout() {
+	if f == nil {
+		return
+	}
+	f.RecvTimeouts.Inc()
+}
+
+// Redispatch counts one locally re-evaluated work chunk.
+func (f *FaultStats) Redispatch() {
+	if f == nil {
+		return
+	}
+	f.Redispatches.Inc()
+}
+
+// Stale counts one discarded duplicate or out-of-iteration result.
+func (f *FaultStats) Stale() {
+	if f == nil {
+		return
+	}
+	f.StaleResults.Inc()
+}
+
+// Evicted counts one worker eviction.
+func (f *FaultStats) Evicted() {
+	if f == nil {
+		return
+	}
+	f.WorkerEvictions.Inc()
+}
+
+// Revived counts one re-admitted worker.
+func (f *FaultStats) Revived() {
+	if f == nil {
+		return
+	}
+	f.WorkerRevivals.Inc()
+}
+
+// PeerDrop counts one peer removed from a share ring.
+func (f *FaultStats) PeerDrop() {
+	if f == nil {
+		return
+	}
+	f.PeerDrops.Inc()
+}
+
+// DegradedIteration counts one master iteration with a reduced worker set.
+func (f *FaultStats) DegradedIteration() {
+	if f == nil {
+		return
+	}
+	f.DegradedIters.Inc()
+}
+
+// Malformed counts one payload that failed its type assertion.
+func (f *FaultStats) Malformed() {
+	if f == nil {
+		return
+	}
+	f.MalformedMsgs.Inc()
+}
+
 // OpStats tracks one neighborhood operator's funnel: proposals drawn,
 // selections as the next current solution, and acceptances into the
 // archive.
@@ -498,6 +627,7 @@ type Telemetry struct {
 	Nondom  ArchiveStats // M_nondom dynamics (all processes)
 	Delta   DeltaStats
 	Splice  SpliceStats
+	Fault   FaultStats
 	Ops     OpTable
 
 	log    *slog.Logger
@@ -588,6 +718,15 @@ func (t *Telemetry) SpliceGroup() *SpliceStats {
 	return &t.Splice
 }
 
+// FaultGroup returns the fault-injection and self-healing instruments (nil
+// when disabled).
+func (t *Telemetry) FaultGroup() *FaultStats {
+	if t == nil {
+		return nil
+	}
+	return &t.Fault
+}
+
 // Operators returns the per-operator funnel table (nil when disabled).
 func (t *Telemetry) Operators() *OpTable {
 	if t == nil {
@@ -654,6 +793,21 @@ func (t *Telemetry) Snapshot() map[string]any {
 			"suffix_early_exits": t.Splice.SuffixEarlyExits.Load(),
 			"suffix_resyncs":     t.Splice.SuffixResyncs.Load(),
 			"full_walks":         t.Splice.FullWalks.Load(),
+		},
+		"faults": map[string]int64{
+			"msgs_dropped":     t.Fault.MsgsDropped.Load(),
+			"msgs_duplicated":  t.Fault.MsgsDuplicated.Load(),
+			"msgs_delayed":     t.Fault.MsgsDelayed.Load(),
+			"crashes":          t.Fault.Crashes.Load(),
+			"stalls":           t.Fault.Stalls.Load(),
+			"recv_timeouts":    t.Fault.RecvTimeouts.Load(),
+			"redispatches":     t.Fault.Redispatches.Load(),
+			"stale_results":    t.Fault.StaleResults.Load(),
+			"worker_evictions": t.Fault.WorkerEvictions.Load(),
+			"worker_revivals":  t.Fault.WorkerRevivals.Load(),
+			"peer_drops":       t.Fault.PeerDrops.Load(),
+			"degraded_iters":   t.Fault.DegradedIters.Load(),
+			"malformed_msgs":   t.Fault.MalformedMsgs.Load(),
 		},
 		"operators": t.Ops.Snapshot(),
 	}

@@ -159,6 +159,19 @@ func TestNilSafety(t *testing.T) {
 	tel.SpliceGroup().SuffixEarlyExit()
 	tel.SpliceGroup().SuffixResync()
 	tel.SpliceGroup().FullWalk()
+	tel.FaultGroup().Dropped()
+	tel.FaultGroup().Duplicated()
+	tel.FaultGroup().Delayed()
+	tel.FaultGroup().Crashed()
+	tel.FaultGroup().Stalled()
+	tel.FaultGroup().RecvTimeout()
+	tel.FaultGroup().Redispatch()
+	tel.FaultGroup().Stale()
+	tel.FaultGroup().Evicted()
+	tel.FaultGroup().Revived()
+	tel.FaultGroup().PeerDrop()
+	tel.FaultGroup().DegradedIteration()
+	tel.FaultGroup().Malformed()
 	tel.Operators().Get("swap").Propose()
 	tel.Event("ignored", map[string]any{"k": 1})
 	tel.Summary(nil)
@@ -192,6 +205,8 @@ func TestDisabledZeroAlloc(t *testing.T) {
 		tel.ArchiveGroup().Accept()
 		tel.DeltaGroup().Fast()
 		tel.SpliceGroup().Call()
+		tel.FaultGroup().RecvTimeout()
+		tel.FaultGroup().Redispatch()
 		tel.Operators().Get("swap").Propose()
 	}); allocs != 0 {
 		t.Errorf("disabled telemetry allocates %v times per iteration, want 0", allocs)
@@ -211,6 +226,8 @@ func TestEnabledZeroAlloc(t *testing.T) {
 		tel.WorkerGroup().Chunk(50, 0.01, 0.02)
 		tel.DeltaGroup().Fast()
 		tel.SpliceGroup().Call()
+		tel.FaultGroup().RecvTimeout()
+		tel.FaultGroup().Redispatch()
 		tel.Operators().Get("swap").Propose()
 	}); allocs != 0 {
 		t.Errorf("enabled instruments allocate %v times per iteration, want 0", allocs)

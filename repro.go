@@ -92,7 +92,15 @@ type (
 	Machine = deme.Machine
 	// ProcStats summarizes one process's activity during a run.
 	ProcStats = deme.ProcStats
+	// FaultPlan describes the faults injected into one process.
+	FaultPlan = deme.FaultPlan
+	// Faulty is a Runtime decorator injecting per-process faults.
+	Faulty = deme.Faulty
 )
+
+// WildcardProc is the FaultPlan map key applying to every process without
+// a plan of its own.
+const WildcardProc = deme.WildcardProc
 
 // RuntimeStats returns per-process statistics of the runtime's most recent
 // run, or nil when the backend does not report them.
@@ -142,6 +150,16 @@ func NewSimRuntime(m Machine) Runtime { return deme.NewSim(m) }
 
 // NewGoroutineRuntime returns the real-concurrency backend.
 func NewGoroutineRuntime() Runtime { return deme.NewGoroutine() }
+
+// NewFaultyRuntime wraps a backend with seeded deterministic fault
+// injection; on the simulator every chaos scenario is exactly reproducible.
+func NewFaultyRuntime(inner Runtime, plans map[int]FaultPlan) *Faulty {
+	return deme.NewFaulty(inner, plans)
+}
+
+// ParseFaultPlans parses the -faults command-line syntax, e.g.
+// "1:crash@5;0:drop=0.2,tags=2;*:skew=0.1".
+func ParseFaultPlans(spec string) (map[int]FaultPlan, error) { return deme.ParseFaultPlans(spec) }
 
 // Solve runs the algorithm on the simulated Origin 3800 — the paper's
 // setup and the fully reproducible default.
