@@ -1,11 +1,16 @@
 # Developer verify loop. `make verify` is the full gate a change must pass:
-# build, vet, the complete test suite, the race detector over the
-# concurrency-heavy packages (the search core and the process simulator),
-# and the zero-allocation assertion on the disabled-telemetry hot path.
+# formatting, build, vet, the complete test suite, the race detector over
+# the concurrency-heavy packages (the search core and the process
+# simulator), and the zero-allocation assertion on the disabled-telemetry
+# hot path.
 
 GO ?= go
 
-.PHONY: build vet test race allocs chaos fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs service-e2e chaos fuzz-smoke bench profile verify
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+	  echo "gofmt required on:"; echo "$$files"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -26,6 +31,12 @@ allocs:
 	$(GO) test -run 'TestDisabledZeroAlloc|TestEnabledZeroAlloc' -count 1 -v ./internal/telemetry/
 	$(GO) test -run 'TestSearcherIterationTelemetryAllocs' -count 1 -v ./internal/core/
 
+# service-e2e runs the solver-service stack — job queue, HTTP/SSE API,
+# daemon signal handling, and the CLI client — under the race detector.
+# Covers the acceptance path: submit, stream, cancel, drain on SIGTERM.
+service-e2e:
+	$(GO) test -race -count 1 ./internal/service/ ./cmd/tsmod/ ./cmd/tsmoctl/
+
 # chaos runs the deterministic fault-injection suite under the race
 # detector: every scenario must complete, stay bit-identical across
 # repetitions, and no variant may deadlock when a process dies.
@@ -42,8 +53,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaMatchesApply -fuzztime $(FUZZTIME) ./internal/operators/
 	$(GO) test -run '^$$' -fuzz FuzzFeasibilityGuard -fuzztime $(FUZZTIME) ./internal/operators/
 
-# bench refreshes BENCH_delta.json and BENCH_telemetry.json via
-# scripts/bench.sh (prior numbers are archived to BENCH_history.jsonl).
+# bench refreshes BENCH_delta.json, BENCH_telemetry.json and
+# BENCH_service.json via scripts/bench.sh (prior numbers are archived to
+# BENCH_history.jsonl).
 bench:
 	./scripts/bench.sh
 
@@ -58,4 +70,4 @@ profile: build
 	  -cpuprofile profiles/cpu.prof -memprofile profiles/heap.prof
 	@echo "profiles written to profiles/{cpu.prof,heap.prof,run.jsonl}"
 
-verify: build vet test race allocs
+verify: fmt build vet test race allocs

@@ -9,17 +9,23 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/metrics"
 	"repro/internal/resultio"
 )
 
 func main() {
 	var (
-		aPath = flag.String("a", "", "first result file")
-		bPath = flag.String("b", "", "second result file")
-		all   = flag.Bool("all", false, "include infeasible solutions")
+		aPath   = flag.String("a", "", "first result file")
+		bPath   = flag.String("b", "", "second result file")
+		all     = flag.Bool("all", false, "include infeasible solutions")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	if err := run(*aPath, *bPath, *all); err != nil {
 		fmt.Fprintln(os.Stderr, "coverage:", err)

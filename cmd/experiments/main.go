@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/exp"
 	"repro/internal/telemetry"
 )
@@ -31,8 +32,13 @@ func main() {
 		extra    = flag.String("extra", "", `extra experiment instead of the tables: "equal-time" (the paper's §IV remark) or "operators" (neighborhood ablation)`)
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof + expvar on this address while the experiments run (e.g. localhost:6060)")
 		logLevel = flag.String("log-level", "", "enable a structured slog progress stream on stderr: debug, info, warn or error")
+		version  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	if *logLevel != "" {
 		level, err := telemetry.ParseLevel(*logLevel)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/viz"
@@ -19,14 +20,19 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 100, "instance size (customers)")
-		procs = flag.Int("procs", 3, "processor count")
-		evals = flag.Int("evals", 5000, "evaluation budget")
-		seed  = flag.Uint64("seed", 1, "run seed")
-		out   = flag.String("o", "figure1.csv", "output CSV path (- for stdout)")
-		plot  = flag.Bool("plot", false, "also draw an ASCII rendition of Figure 1")
+		n       = flag.Int("n", 100, "instance size (customers)")
+		procs   = flag.Int("procs", 3, "processor count")
+		evals   = flag.Int("evals", 5000, "evaluation budget")
+		seed    = flag.Uint64("seed", 1, "run seed")
+		out     = flag.String("o", "figure1.csv", "output CSV path (- for stdout)")
+		plot    = flag.Bool("plot", false, "also draw an ASCII rendition of Figure 1")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	if err := run(*n, *procs, *evals, *seed, *out, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "trajectory:", err)

@@ -11,14 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/deme"
 	"repro/internal/resultio"
@@ -85,9 +89,21 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile taken after the run to this file")
 	flag.IntVar(&o.sampleEvery, "sample", 0, "record a telemetry front-quality snapshot every this many evaluations (0 with -telemetry: evals/20)")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
-	if err := run(o); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: the search stops within
+	// one iteration and the partial front (and any -json/-trajectory/
+	// -telemetry outputs) is still written. A second signal kills the
+	// process the usual way.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "tsmo:", err)
 		os.Exit(1)
 	}
@@ -117,7 +133,7 @@ func setupTelemetry(o options) (*telemetry.Telemetry, error) {
 	return telemetry.New(log, w), nil
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	alg, err := core.ParseAlgorithm(o.algName)
 	if err != nil {
 		return err
@@ -217,9 +233,12 @@ func run(o options) error {
 	})
 	tel.Logger().Info("run starting", "instance", in.Name, "algorithm", alg.String(), "procs", o.procs)
 
-	res, err := core.Run(alg, in, cfg, rt)
+	res, err := core.RunContext(ctx, alg, in, cfg, rt)
 	if err != nil {
 		return err
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tsmo: interrupted — reporting the partial result")
 	}
 
 	fmt.Printf("instance %s (N=%d, R=%d, capacity %.0f)\n", in.Name, in.N(), in.Vehicles, in.Capacity)

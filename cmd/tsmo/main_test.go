@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func TestRunGeneratedInstance(t *testing.T) {
 	o.jsonOut = filepath.Join(dir, "front.json")
 	o.trajOut = filepath.Join(dir, "traj.csv")
 	o.routes = true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(o.jsonOut)
@@ -86,7 +87,7 @@ CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE   SERVICE TIME
 	o.evals = 300
 	o.nbh = 20
 	o.all = true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,7 +127,7 @@ func TestRunErrors(t *testing.T) {
 		},
 	}
 	for name, f := range cases {
-		if run(f()) == nil {
+		if run(context.Background(), f()) == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
@@ -144,7 +145,7 @@ func TestRunTelemetryReport(t *testing.T) {
 	o.evals = 1500
 	o.telemetryOut = filepath.Join(dir, "run.jsonl")
 	o.pprofAddr = "127.0.0.1:0"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 
@@ -249,7 +250,7 @@ func TestRunWithFaults(t *testing.T) {
 	o.evals = 1500
 	o.faults = "1:crash@2"
 	o.telemetryOut = filepath.Join(dir, "run.jsonl")
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,275 @@
+// Command tsmoctl is the command-line client of the tsmod solver daemon.
+//
+//	tsmoctl -server localhost:8080 health
+//	tsmoctl submit -class R1 -n 100 -alg asynchronous -procs 3 -evals 50000
+//	tsmoctl submit -instance r101.txt -wait
+//	tsmoctl status j000001
+//	tsmoctl events j000001          # follow the SSE stream
+//	tsmoctl result j000001 > front.json
+//	tsmoctl cancel j000001
+//	tsmoctl list
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsmoctl:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: tsmoctl [-server host:port] <command> [flags]
+
+commands:
+  submit   submit a job (generator or Solomon-file instance)
+  status   print a job's status, live front and quality metrics
+  events   follow a job's event stream (SSE)
+  result   print a finished job's front as a result file
+  cancel   cancel a job
+  list     list retained jobs
+  health   print the daemon's health snapshot
+`
+
+// run parses the global flags and dispatches the subcommand. Split from
+// main (with an injectable output) for the client tests.
+func run(args []string, out io.Writer) error {
+	global := flag.NewFlagSet("tsmoctl", flag.ContinueOnError)
+	server := global.String("server", "localhost:8080", "tsmod address (host:port)")
+	version := global.Bool("version", false, "print the version and exit")
+	global.Usage = func() {
+		fmt.Fprint(global.Output(), usage)
+		global.PrintDefaults()
+	}
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Version())
+		return nil
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		global.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := client{base: "http://" + *server, out: out}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "status":
+		return c.jobGet(rest, "status", "")
+	case "result":
+		return c.jobGet(rest, "result", "/result")
+	case "events":
+		return c.events(rest)
+	case "cancel":
+		return c.cancel(rest)
+	case "list":
+		return c.get("/v1/jobs")
+	case "health":
+		return c.get("/v1/healthz")
+	default:
+		global.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+type client struct {
+	base string
+	out  io.Writer
+}
+
+// get pretty-prints the JSON body of one GET endpoint.
+func (c *client) get(path string) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return c.printJSON(resp)
+}
+
+// printJSON re-indents a JSON response, surfacing API errors as errors.
+func (c *client) printJSON(resp *http.Response) error {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp, body)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(body), "", "  "); err != nil {
+		buf.Write(body)
+	}
+	fmt.Fprintln(c.out, buf.String())
+	return nil
+}
+
+func apiError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var spec service.JobSpec
+	instFile := fs.String("instance", "", "Solomon-format instance file (overrides -class/-n)")
+	fs.StringVar(&spec.Instance.Class, "class", "", "generated instance class (R1, C1, RC1, R2, C2, RC2)")
+	fs.IntVar(&spec.Instance.N, "n", 100, "generated instance size (customers)")
+	fs.Uint64Var(&spec.Instance.Seed, "instance-seed", 1, "generated instance seed")
+	fs.StringVar(&spec.Algorithm, "alg", "sequential", "algorithm variant")
+	fs.IntVar(&spec.Processors, "procs", 0, "processor count (0 = variant default)")
+	fs.Uint64Var(&spec.Seed, "seed", 1, "run seed")
+	fs.IntVar(&spec.MaxEvaluations, "evals", 20000, "evaluation budget")
+	fs.Float64Var(&spec.MaxSeconds, "max-seconds", 0, "in-run runtime budget (0 = none)")
+	fs.Float64Var(&spec.WallSeconds, "wall", 0, "real-time deadline in seconds (0 = server default)")
+	fs.StringVar(&spec.Backend, "backend", "", "runtime backend: sim or goroutine (default sim)")
+	fs.IntVar(&spec.SampleEvery, "sample", 0, "record convergence samples every this many evaluations")
+	wait := fs.Bool("wait", false, "follow the event stream until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instFile != "" {
+		text, err := os.ReadFile(*instFile)
+		if err != nil {
+			return err
+		}
+		spec.Instance.Solomon = string(text)
+		spec.Instance.Class = ""
+	} else if spec.Instance.Class == "" {
+		spec.Instance.Class = "R1"
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp, raw)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	fmt.Fprintf(c.out, "job %s %s\n", sub.ID, sub.State)
+	if *wait {
+		return c.follow(sub.ID, 0)
+	}
+	return nil
+}
+
+// jobID extracts the single job-id argument of a subcommand.
+func jobID(name string, args []string) (string, error) {
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
+		return "", fmt.Errorf("usage: tsmoctl %s <job-id>", name)
+	}
+	return args[0], nil
+}
+
+func (c *client) jobGet(args []string, name, suffix string) error {
+	id, err := jobID(name, args)
+	if err != nil {
+		return err
+	}
+	return c.get("/v1/jobs/" + id + suffix)
+}
+
+func (c *client) cancel(args []string) error {
+	id, err := jobID("cancel", args)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return c.printJSON(resp)
+}
+
+func (c *client) events(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	after := fs.Int("after", 0, "replay events with seq greater than this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := jobID("events", fs.Args())
+	if err != nil {
+		return err
+	}
+	return c.follow(id, *after)
+}
+
+// follow prints a job's SSE stream, one "seq name json-fields" line per
+// event, until the server ends it (job terminal) or the connection drops.
+func (c *client) follow(id string, after int) error {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if after > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(after))
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := (&http.Client{Timeout: 0}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
+		return apiError(resp, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // ids, event names and keep-alives; data has it all
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		fields, err := json.Marshal(ev.Fields)
+		if err != nil {
+			fields = nil
+		}
+		fmt.Fprintf(c.out, "%6d %s %-16s %s\n", ev.Seq, ev.TS.Format(time.TimeOnly), ev.Name, fields)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// ctl runs one tsmoctl invocation against the test server and returns its
+// stdout.
+func ctl(t *testing.T, server string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(append([]string{"-server", server}, args...), &out)
+	return out.String(), err
+}
+
+func TestClientAgainstInProcessDaemon(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, Version: "ctl-test"})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out, err := ctl(t, addr, "health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ctl-test"`) {
+		t.Errorf("health output missing version: %s", out)
+	}
+
+	// submit -wait follows the stream to completion and prints events.
+	out, err = ctl(t, addr, "submit", "-class", "R1", "-n", "40", "-evals", "1500", "-wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "job j") || !strings.Contains(out, "archive_accept") || !strings.Contains(out, "done") {
+		t.Errorf("submit -wait output unexpected:\n%s", out)
+	}
+	id := strings.Fields(out)[1]
+
+	out, err = ctl(t, addr, "status", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"done"`) || !strings.Contains(out, `"hypervolume"`) {
+		t.Errorf("status output unexpected:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "result", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"solutions"`) {
+		t.Errorf("result output unexpected:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "events", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "queued") {
+		t.Errorf("events replay missing lifecycle events:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, id) {
+		t.Errorf("list output missing %s:\n%s", id, out)
+	}
+
+	// cancel on a terminal job is a no-op that reports the final state.
+	out, err = ctl(t, addr, "cancel", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"done"`) {
+		t.Errorf("cancel output unexpected:\n%s", out)
+	}
+
+	if _, err := ctl(t, addr, "status", "j999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("status of unknown job: %v; want 404 error", err)
+	}
+	if _, err := ctl(t, addr, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := ctl(t, addr); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) == "" {
+		t.Error("-version printed nothing")
+	}
+}

@@ -1,0 +1,116 @@
+// Command tsmod is the solver daemon: it serves the solver-as-a-service
+// HTTP API of internal/service — job submission with backpressure, live
+// status with the evolving Pareto front, an SSE event stream per job, and
+// the debug endpoints of internal/telemetry — on one address.
+//
+//	tsmod -addr :8080 -workers 2 -queue 8
+//	curl -X POST localhost:8080/v1/jobs -d '{"instance":{"class":"R1","n":100},"algorithm":"asynchronous","processors":3}'
+//	curl -N localhost:8080/v1/jobs/j000001/events
+//
+// SIGINT/SIGTERM trigger a graceful drain: intake stops (503), queued and
+// running jobs finish — bounded by -drain-timeout, after which they are
+// cancelled and keep their partial fronts — and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		workers      = flag.Int("workers", 2, "worker-pool size (jobs solved concurrently)")
+		queue        = flag.Int("queue", 8, "queued-job bound; submissions beyond it get 429")
+		retain       = flag.Int("retain", 64, "finished jobs kept for status/result queries")
+		maxEvals     = flag.Int("max-evals", 1_000_000, "per-job evaluation-budget cap")
+		maxProcs     = flag.Int("max-procs", 16, "per-job processor cap")
+		maxCustomers = flag.Int("max-customers", 1000, "instance-size cap")
+		maxWall      = flag.Float64("max-wall", 0, "per-job wall-clock deadline cap in seconds (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "grace period for running jobs on shutdown")
+		logLevel     = flag.String("log-level", "info", "slog level: debug, info, warn or error")
+		version      = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RetainJobs:     *retain,
+		MaxEvaluations: *maxEvals,
+		MaxProcessors:  *maxProcs,
+		MaxCustomers:   *maxCustomers,
+		MaxWallSeconds: *maxWall,
+		Version:        buildinfo.Version(),
+	}
+	if err := run(*addr, cfg, *drainTimeout, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "tsmod:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains and returns nil on a clean
+// shutdown. Split from main for the shutdown tests.
+func run(addr string, cfg service.Config, drainTimeout time.Duration, logLevel string) error {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("parsing -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	cfg.Logger = logger
+
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("tsmod listening", "addr", ln.Addr().String(),
+		"workers", cfg.Workers, "queue", cfg.QueueDepth, "version", cfg.Version)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+
+	logger.Info("shutting down", "drain_timeout", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop the listener first so the drain observes no new submissions,
+	// then let the jobs finish. Shutdown waits for idle connections only;
+	// open SSE streams are torn down by the service's stop channel.
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "error", err)
+	}
+	if err := svc.Drain(drainCtx); err != nil {
+		return err
+	}
+	srv.Close() //nolint:errcheck // lingering streams after drain
+	logger.Info("drained, exiting")
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+// There is a tiny reuse window, acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunDrainsOnSIGTERM boots the daemon, submits a job, sends the
+// process SIGTERM and expects run to drain the job and return nil — the
+// exit-0 path of the acceptance criteria.
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, service.Config{Workers: 1, Version: "test"}, 30*time.Second, "warn")
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base, done)
+
+	spec := service.JobSpec{
+		Instance:       service.InstanceSpec{Class: "R1", N: 40, Seed: 3},
+		MaxEvaluations: 1500,
+		Seed:           7,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub service.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM; want nil (clean drain)", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func waitHealthy(t *testing.T, base string, done <-chan error) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited during startup: %v", err)
+		default:
+		}
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	if err := run("127.0.0.1:0", service.Config{}, time.Second, "noisy"); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+}
+
+func TestRunRejectsBusyAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ln.Addr().String(), service.Config{Workers: 1}, time.Second, "error") }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("listening on a busy address succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		fmt.Println("run did not return; sending SIGTERM to unwind")
+		syscall.Kill(os.Getpid(), syscall.SIGTERM) //nolint:errcheck // best-effort unwind
+		t.Fatal("run did not return on a busy address")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/buildinfo"
+
 	"repro/internal/vrptw"
 )
 
@@ -25,8 +27,13 @@ func main() {
 		dir     = flag.String("dir", "", "output directory (multiple instances)")
 		density = flag.Float64("density", 1.0, "fraction of customers with restrictive time windows")
 		stats   = flag.Bool("stats", false, "print instance summary statistics instead of the instance")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	if err := run(*class, *n, *seed, *count, *out, *dir, *density, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "vrptwgen:", err)

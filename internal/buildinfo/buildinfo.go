@@ -1,0 +1,53 @@
+// Package buildinfo reports the binary's module version and VCS revision
+// via debug.ReadBuildInfo. Every command exposes it behind a -version
+// flag, and the solver service reports it in GET /v1/healthz, so a
+// deployment can always be matched to the exact commit that built it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns a one-line version string: the module version (or
+// "devel"), the VCS revision when the binary was built from a checkout,
+// and the Go toolchain, e.g. "v0.4.0 (1a2b3c4d5e6f, go1.24.0)".
+func Version() string {
+	version, revision := Parts()
+	if revision != "" {
+		return fmt.Sprintf("%s (%s, %s)", version, revision, runtime.Version())
+	}
+	return fmt.Sprintf("%s (%s)", version, runtime.Version())
+}
+
+// Parts returns the module version and the shortened VCS revision
+// (suffixed "+dirty" for modified checkouts). Either may degrade — the
+// version to "devel", the revision to "" — when the binary was built
+// without module or VCS stamping (go test binaries, for example).
+func Parts() (version, revision string) {
+	version = "devel"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, ""
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if dirty && revision != "" {
+		revision += "+dirty"
+	}
+	return version, revision
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -186,6 +187,17 @@ type Config struct {
 	// disables all of it at a cost of one branch per instrumentation
 	// point; see internal/telemetry and BENCH_telemetry.json.
 	Telemetry *telemetry.Telemetry
+
+	// ctx carries the run's cancellation signal; set by RunContext, nil
+	// for a plain Run. Every searcher and worker loop polls it at its
+	// loop head, so cancellation stops a run within one iteration and
+	// the partial result is still returned.
+	ctx context.Context
+}
+
+// cancelled reports whether the run's context (if any) is done.
+func (c *Config) cancelled() bool {
+	return c.ctx != nil && c.ctx.Err() != nil
 }
 
 // QualitySample is one point of a convergence curve.

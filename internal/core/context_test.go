@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/deme"
+	"repro/internal/vrptw"
+)
+
+func contextTestInstance(t *testing.T) *vrptw.Instance {
+	t.Helper()
+	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestRunContextCancelPartial cancels a run mid-flight and expects a
+// partial result with a nil error, well short of the full budget.
+func TestRunContextCancelPartial(t *testing.T) {
+	in := contextTestInstance(t)
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 50_000_000 // far more than can run before the cancel
+	cfg.Seed = 7
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunContext(ctx, Sequential, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatalf("cancelled run returned error: %v", err)
+	}
+	if res.Evaluations >= cfg.MaxEvaluations {
+		t.Fatalf("run consumed the full budget (%d evals) despite cancellation", res.Evaluations)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("cancelled run reported no work at all")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v; want well under the full-budget runtime", elapsed)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("cancelled run returned an empty front; want the partial archive")
+	}
+}
+
+// TestRunContextCancelGoroutineBackend exercises the same path on the
+// real-concurrency backend, including unblocking workers parked in Recv.
+func TestRunContextCancelGoroutineBackend(t *testing.T) {
+	in := contextTestInstance(t)
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 50_000_000
+	cfg.Processors = 3
+	cfg.Seed = 7
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, Asynchronous, in, cfg, deme.NewGoroutine())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled run returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled goroutine-backend run did not return")
+	}
+}
+
+// TestRunContextUncancelledMatchesRun checks that threading a live context
+// through a run leaves the deterministic result identical to plain Run.
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	in := contextTestInstance(t)
+	cfg := DefaultConfig()
+	cfg.MaxEvaluations = 2000
+	cfg.Seed = 11
+
+	plain, err := Run(Sequential, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := RunContext(context.Background(), Sequential, in, cfg, deme.NewSim(deme.Origin3800()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Evaluations != ctxRes.Evaluations || plain.Iterations != ctxRes.Iterations {
+		t.Fatalf("context changed the run: %d/%d evals, %d/%d iters",
+			plain.Evaluations, ctxRes.Evaluations, plain.Iterations, ctxRes.Iterations)
+	}
+	if len(plain.Front) != len(ctxRes.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(plain.Front), len(ctxRes.Front))
+	}
+	for i := range plain.Front {
+		if plain.Front[i].Obj != ctxRes.Front[i].Obj {
+			t.Fatalf("front[%d] differs: %+v vs %+v", i, plain.Front[i].Obj, ctxRes.Front[i].Obj)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deme"
@@ -64,9 +65,20 @@ type resultMsg struct {
 // Run executes the selected TSMO variant on the instance with the given
 // configuration and runtime backend, and returns the merged result.
 func Run(alg Algorithm, in *vrptw.Instance, cfg Config, rt deme.Runtime) (*Result, error) {
+	return RunContext(context.Background(), alg, in, cfg, rt)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled,
+// every searcher and worker stops within one iteration and the merged
+// result over the work done so far is returned — with a nil error, so
+// interrupted runs still yield their partial front. Callers distinguish a
+// cancelled run by checking ctx.Err() themselves. A deadline on ctx
+// bounds the run in wall time regardless of backend.
+func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Config, rt deme.Runtime) (*Result, error) {
 	if err := cfg.validate(in, alg); err != nil {
 		return nil, err
 	}
+	cfg.ctx = ctx
 	// Pre-derive one deterministic RNG seed per process so results do
 	// not depend on scheduling.
 	base := rng.New(cfg.Seed)
@@ -116,7 +128,7 @@ func Run(alg Algorithm, in *vrptw.Instance, cfg Config, rt deme.Runtime) (*Resul
 			}
 		}
 	}
-	if err := rt.Run(cfg.Processors, body); err != nil {
+	if err := deme.RunWith(ctx, rt, cfg.Processors, body); err != nil {
 		return nil, fmt.Errorf("core: %v run failed: %w", alg, err)
 	}
 	for i := range outcomes {

@@ -337,6 +337,22 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 		if selectedOp != "" {
 			s.ops.Get(selectedOp).Accept()
 		}
+		// Stream the accepted point: the solver service forwards these
+		// to its subscribers as the evolving Pareto front. Sinks (not
+		// Enabled) keeps instruments-only runs allocation-free here.
+		if s.tel.Sinks() {
+			s.tel.Event("archive_accept", map[string]any{
+				"proc":         p.ID(),
+				"iteration":    s.iter,
+				"time":         p.Now(),
+				"distance":     s.cur.Obj.Distance,
+				"vehicles":     s.cur.Obj.Vehicles,
+				"tardiness":    s.cur.Obj.Tardiness,
+				"feasible":     s.cur.Obj.Feasible(),
+				"operator":     selectedOp,
+				"archive_size": s.archive.Len(),
+			})
+		}
 	}
 	if improved {
 		s.sinceImprove = 0
@@ -403,10 +419,14 @@ func (s *searcher) selectCand(cands []cand, nd []int) int {
 	return allowed[s.r.Intn(len(allowed))]
 }
 
-// done reports whether a budget is exhausted: the evaluation budget, or —
-// when configured — the runtime budget for equal-time comparisons.
+// done reports whether a budget is exhausted: the evaluation budget, a
+// cancelled run context, or — when configured — the runtime budget for
+// equal-time comparisons.
 func (s *searcher) done(p deme.Proc) bool {
 	if s.evals >= s.cfg.MaxEvaluations {
+		return true
+	}
+	if s.cfg.cancelled() {
 		return true
 	}
 	return s.cfg.MaxSeconds > 0 && p.Now() >= s.cfg.MaxSeconds

@@ -28,6 +28,9 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 	ops := cfg.Telemetry.Operators()
 	fg := cfg.Telemetry.FaultGroup()
 	for {
+		if cfg.cancelled() {
+			return // the run was cancelled; the master is unwinding too
+		}
 		idleStart := p.Now()
 		m, ok := p.RecvTimeout(cfg.RecvTimeout)
 		if !ok {

@@ -20,6 +20,8 @@
 // Time is expressed in modeled seconds throughout.
 package deme
 
+import "context"
+
 // Message is the unit of inter-process communication.
 type Message struct {
 	From  int // sender process ID, filled in by the runtime
@@ -71,4 +73,25 @@ type Runtime interface {
 	// maximum process clock on the simulator, the wall-clock duration on
 	// the goroutine backend.
 	Elapsed() float64
+}
+
+// ContextRunner is implemented by runtimes that support cooperative
+// cancellation: once ctx is done, blocked receives return ok=false so
+// bodies that poll the context at their loop heads can unwind promptly.
+// Cancellation is always cooperative — RunContext still waits for every
+// body to return, it only stops them from sleeping through the cancel.
+type ContextRunner interface {
+	RunContext(ctx context.Context, n int, body func(Proc)) error
+}
+
+// RunWith runs body on rt under ctx: runtimes implementing ContextRunner
+// get the context natively; any other backend falls back to a plain Run,
+// where cancellation works solely through the bodies' own context checks.
+func RunWith(ctx context.Context, rt Runtime, n int, body func(Proc)) error {
+	if ctx != nil {
+		if cr, ok := rt.(ContextRunner); ok {
+			return cr.RunContext(ctx, n, body)
+		}
+	}
+	return rt.Run(n, body)
 }

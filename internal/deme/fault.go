@@ -1,6 +1,7 @@
 package deme
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -100,7 +101,17 @@ type crashSignal struct{}
 // Run implements Runtime. Processes without an active plan run on the raw
 // Proc; the rest are wrapped in a faultyProc.
 func (f *Faulty) Run(n int, body func(Proc)) error {
-	return f.inner.Run(n, func(p Proc) {
+	return f.runCtx(nil, n, body)
+}
+
+// RunContext implements ContextRunner by delegating to the wrapped
+// runtime's own context support when it has any.
+func (f *Faulty) RunContext(ctx context.Context, n int, body func(Proc)) error {
+	return f.runCtx(ctx, n, body)
+}
+
+func (f *Faulty) runCtx(ctx context.Context, n int, body func(Proc)) error {
+	return RunWith(ctx, f.inner, n, func(p Proc) {
 		plan, ok := f.plans[p.ID()]
 		if !ok {
 			plan, ok = f.plans[WildcardProc]

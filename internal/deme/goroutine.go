@@ -1,6 +1,7 @@
 package deme
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -37,8 +38,14 @@ type goProc struct {
 type goRun struct {
 	mu      sync.Mutex
 	procs   []*goProc
-	live    int // processes that have not returned yet
-	blocked int // processes parked in an untimed Recv
+	live    int             // processes that have not returned yet
+	blocked int             // processes parked in an untimed Recv
+	ctx     context.Context // nil on a plain Run; done releases receivers
+}
+
+// cancelled reports whether the run's context (if any) is done.
+func (r *goRun) cancelled() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
 }
 
 // anyQueuedLocked reports whether any mailbox holds an undelivered message.
@@ -150,6 +157,13 @@ func (p *goProc) recv(timeout <-chan time.Time) (Message, bool) {
 			r.mu.Unlock()
 			return m, true
 		}
+		if r.cancelled() {
+			// The run's context is done: release the receiver so its
+			// body can observe the cancellation at its loop head
+			// instead of sleeping out the timeout.
+			r.mu.Unlock()
+			return Message{}, false
+		}
 		if r.live <= 1 {
 			// Only this process is left; nothing can arrive.
 			r.mu.Unlock()
@@ -191,13 +205,37 @@ func (p *goProc) recv(timeout <-chan time.Time) (Message, bool) {
 
 // Run implements Runtime.
 func (g *Goroutine) Run(n int, body func(Proc)) error {
+	return g.runCtx(nil, n, body)
+}
+
+// RunContext implements ContextRunner: when ctx is done every parked
+// receive returns ok=false, so bodies that poll the context unwind within
+// one loop turn. The call still blocks until all bodies have returned.
+func (g *Goroutine) RunContext(ctx context.Context, n int, body func(Proc)) error {
+	return g.runCtx(ctx, n, body)
+}
+
+func (g *Goroutine) runCtx(ctx context.Context, n int, body func(Proc)) error {
 	if n < 1 {
 		return fmt.Errorf("deme: Run needs at least one process, got %d", n)
 	}
-	run := &goRun{procs: make([]*goProc, n), live: n}
+	run := &goRun{procs: make([]*goProc, n), live: n, ctx: ctx}
 	start := time.Now()
 	for i := range run.procs {
 		run.procs[i] = &goProc{id: i, n: n, start: start, run: run, notify: make(chan struct{}, 1)}
+	}
+	if ctx != nil {
+		// Wake every parked receiver the moment the context is
+		// cancelled; the watcher exits with the run.
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				run.pingAll()
+			case <-watcherDone:
+			}
+		}()
 	}
 	var wg sync.WaitGroup
 	var panicMu sync.Mutex

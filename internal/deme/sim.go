@@ -2,6 +2,7 @@ package deme
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -191,6 +192,19 @@ func (p *simProc) wake() float64 {
 
 // Run implements Runtime.
 func (s *Sim) Run(n int, body func(Proc)) error {
+	return s.runCtx(nil, n, body)
+}
+
+// RunContext implements ContextRunner. A cancelled context releases every
+// blocked receive with ok=false at its current virtual clock (instead of
+// sleeping to its deadline), so bodies that poll the context unwind within
+// one loop turn. An uncancelled context leaves the event order — and hence
+// the simulation's determinism — completely untouched.
+func (s *Sim) RunContext(ctx context.Context, n int, body func(Proc)) error {
+	return s.runCtx(ctx, n, body)
+}
+
+func (s *Sim) runCtx(ctx context.Context, n int, body func(Proc)) error {
 	if n < 1 {
 		return fmt.Errorf("deme: Run needs at least one process, got %d", n)
 	}
@@ -231,8 +245,32 @@ func (s *Sim) Run(n int, body func(Proc)) error {
 
 	running := n
 	var firstPanic error
+	cancelled := false
+	events := 0
 	for running > 0 {
+		// Poll the context every few events only: Err takes a lock, and
+		// compute-heavy simulations yield millions of times.
+		if ctx != nil && !cancelled && events%64 == 0 {
+			cancelled = ctx.Err() != nil
+		}
+		events++
 		p := s.pickNext()
+		if cancelled && p != nil && p.state == stBlocked {
+			// Cancelled: release the receive at the process's current
+			// clock instead of sleeping to its mail or deadline, so
+			// the body can observe the cancellation at its loop head.
+			p.replyMsg, p.replyOK = Message{}, false
+			p.state = stReady
+			p.resume <- struct{}{}
+			q := <-s.yield
+			if q.state == stDone {
+				running--
+				if q.panicVal != nil && firstPanic == nil {
+					firstPanic = fmt.Errorf("deme: process %d panicked: %v", q.id, q.panicVal)
+				}
+			}
+			continue
+		}
 		if p == nil {
 			// Global deadlock: every live process waits forever.
 			// Release them deterministically with ok=false.

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resultio"
+	"repro/internal/telemetry"
+)
+
+// maxBodyBytes bounds a submission body; inline Solomon text for the
+// largest admissible instances fits comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202; 429 full, 503 draining)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        status + live front + quality metrics
+//	GET    /v1/jobs/{id}/events SSE stream of job events (Last-Event-ID resume)
+//	GET    /v1/jobs/{id}/result final front as a resultio.FrontFile (409 early)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          service health, version, queue occupancy
+//	GET    /telemetry           per-job instrument snapshots
+//	/debug/pprof/*, /debug/vars from internal/telemetry
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
+	telemetry.RegisterDebug(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// SubmitResponse is the 202 body of POST /v1/jobs.
+type SubmitResponse struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:        j.ID,
+		State:     j.State(),
+		StatusURL: "/v1/jobs/" + j.ID,
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
+	})
+}
+
+// retryAfterSeconds renders a Retry-After header value, at least 1 second
+// (the header has whole-second granularity).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Front = nil // keep the listing small; fronts live on the job URL
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Service) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j.ID) //nolint:errcheck // lookup already succeeded
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "state": j.State()})
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !j.State().Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; the result is available once it is terminal", j.ID, j.State()))
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s produced no result", j.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, resultio.FromResult(j.InstanceName(), res, true))
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleTelemetry reports the live instrument snapshot of every retained
+// job, keyed by job id — the service-side equivalent of the single-run
+// /telemetry endpoint in internal/telemetry.
+func (s *Service) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+	jobs := make(map[string]any)
+	for _, j := range s.Jobs() {
+		jobs[j.ID] = j.tel.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"service": s.Stats(), "jobs": jobs})
+}
+
+// sseHeartbeat is how often an idle event stream emits a keep-alive
+// comment; variable so tests can shrink it.
+var sseHeartbeat = 15 * time.Second
+
+// handleEvents streams the job's events as Server-Sent Events. Each event
+// carries its Seq as the SSE id, so a dropped client resumes by replaying
+// with Last-Event-ID (or the after query parameter). The stream ends once
+// the job is terminal and all buffered events have been delivered.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.Atoi(v) //nolint:errcheck // malformed id restarts the stream
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.Atoi(v) //nolint:errcheck // as above
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		evs, notify, lastSeq, terminal := j.eventsSince(after)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Name, data); err != nil {
+				return
+			}
+			after = e.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal && after >= lastSeq {
+			return
+		}
+		select {
+		case <-notify:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}

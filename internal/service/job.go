@@ -1,0 +1,576 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/solution"
+	"repro/internal/telemetry"
+	"repro/internal/vrptw"
+)
+
+// State is a job's position in its lifecycle:
+//
+//	queued -> running -> done | failed
+//	queued | running  -> canceled
+type State string
+
+// The job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// InstanceSpec selects a job's CVRPTW instance: either inline Solomon-format
+// text, or a generated instance named by (class, n, seed) — the same knobs
+// as cmd/vrptwgen. Exactly one of the two forms must be used.
+type InstanceSpec struct {
+	// Solomon is the full text of a Solomon-format instance file.
+	Solomon string `json:"solomon,omitempty"`
+	// Class is a generator class name (R1, C1, RC1, R2, C2, RC2).
+	Class string `json:"class,omitempty"`
+	// N is the generated customer count.
+	N int `json:"n,omitempty"`
+	// Seed is the generator seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs. Zero-valued fields take the solver
+// defaults (core.DefaultConfig, clamped by the service's limits).
+type JobSpec struct {
+	Instance InstanceSpec `json:"instance"`
+	// Algorithm is a TSMO variant name (sequential, synchronous,
+	// asynchronous, collaborative, combined). Default: sequential.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Processors is the process count for the parallel variants.
+	// Default: 1 for sequential, 3 otherwise.
+	Processors int `json:"processors,omitempty"`
+	// Seed is the search seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxEvaluations is the evaluation budget, clamped by the service's
+	// Config.MaxEvaluations.
+	MaxEvaluations int `json:"max_evaluations,omitempty"`
+	// MaxSeconds is the in-run runtime budget (virtual seconds on the sim
+	// backend, wall seconds on the goroutine backend).
+	MaxSeconds float64 `json:"max_seconds,omitempty"`
+	// WallSeconds is a real-time deadline enforced by the service
+	// regardless of backend; the run is stopped (keeping its partial
+	// front) when it expires. Clamped by Config.MaxWallSeconds, which is
+	// also the default when this is 0.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Neighborhood, Tenure, Archive, Nondom, RestartIters and Islands
+	// override the corresponding search parameters when positive.
+	Neighborhood int `json:"neighborhood,omitempty"`
+	Tenure       int `json:"tenure,omitempty"`
+	Archive      int `json:"archive,omitempty"`
+	Nondom       int `json:"nondom,omitempty"`
+	RestartIters int `json:"restart_iters,omitempty"`
+	Islands      int `json:"islands,omitempty"`
+	// Backend selects the runtime: "sim" (deterministic machine
+	// simulator, the default) or "goroutine" (real concurrency).
+	Backend string `json:"backend,omitempty"`
+	// SampleEvery enables convergence samples in the stored result.
+	SampleEvery int `json:"sample_every,omitempty"`
+}
+
+// Event is one entry of a job's event stream: service lifecycle events
+// (queued, started, done, failed, canceled) interleaved with solver events
+// tapped from the telemetry layer (init, archive_accept, restart,
+// decision, ...). Seq increases by one per event and doubles as the SSE
+// event id, so clients resume with Last-Event-ID.
+type Event struct {
+	Seq    int            `json:"seq"`
+	TS     time.Time      `json:"ts"`
+	Name   string         `json:"name"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// FrontPoint is one member of a job's live Pareto-front mirror, built from
+// archive_accept events as they stream out of the searchers.
+type FrontPoint struct {
+	Distance  float64 `json:"distance"`
+	Vehicles  float64 `json:"vehicles"`
+	Tardiness float64 `json:"tardiness"`
+	Feasible  bool    `json:"feasible"`
+	Proc      int     `json:"proc"`
+	Iteration int     `json:"iteration"`
+	Time      float64 `json:"time"`
+}
+
+func (p FrontPoint) objectives() solution.Objectives {
+	return solution.Objectives{Distance: p.Distance, Vehicles: p.Vehicles, Tardiness: p.Tardiness}
+}
+
+// maxEvents bounds a job's retained event buffer. Older events are dropped
+// oldest-first; an SSE resume pointing before the retained window restarts
+// from the oldest retained event.
+const maxEvents = 16384
+
+// Job is one solve job owned by a Service.
+type Job struct {
+	// ID is the service-assigned job id.
+	ID string
+	// Spec echoes the submitted specification.
+	Spec JobSpec
+
+	svc      *Service
+	alg      core.Algorithm
+	cfg      core.Config
+	in       *vrptw.Instance
+	instName string
+	backend  string
+	wall     time.Duration
+	tel      *telemetry.Telemetry
+	ctx      context.Context
+	cancel   context.CancelFunc
+	doneOnce sync.Once
+
+	mu         sync.Mutex
+	state      State
+	userCancel bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	errText    string
+	events     []Event
+	firstSeq   int // Seq of events[0]
+	lastSeq    int
+	notify     chan struct{}
+	front      []FrontPoint
+	hvRef      solution.Objectives
+	haveRef    bool
+	result     *core.Result
+}
+
+// newJob validates a spec against the service limits and materializes the
+// instance and solver configuration. Errors are submission errors (HTTP 400).
+func newJob(spec JobSpec, limits *Config) (*Job, error) {
+	j := &Job{
+		Spec:    spec,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		backend: spec.Backend,
+	}
+
+	switch {
+	case spec.Instance.Solomon != "" && spec.Instance.Class != "":
+		return nil, fmt.Errorf("instance: solomon text and generator class are mutually exclusive")
+	case spec.Instance.Solomon != "":
+		in, err := vrptw.ParseSolomon(strings.NewReader(spec.Instance.Solomon))
+		if err != nil {
+			return nil, fmt.Errorf("instance: %w", err)
+		}
+		j.in = in
+		j.instName = in.Name
+	case spec.Instance.Class != "":
+		class, err := vrptw.ParseClass(spec.Instance.Class)
+		if err != nil {
+			return nil, fmt.Errorf("instance: %w", err)
+		}
+		in, err := vrptw.Generate(vrptw.GenConfig{Class: class, N: spec.Instance.N, Seed: spec.Instance.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("instance: %w", err)
+		}
+		j.in = in
+		j.instName = in.Name
+	default:
+		return nil, fmt.Errorf("instance: provide either inline solomon text or a generator class")
+	}
+	if limits.MaxCustomers > 0 && j.in.N() > limits.MaxCustomers {
+		return nil, fmt.Errorf("instance: %d customers exceeds the service limit of %d", j.in.N(), limits.MaxCustomers)
+	}
+
+	algName := spec.Algorithm
+	if algName == "" {
+		algName = "sequential"
+	}
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		return nil, err
+	}
+	j.alg = alg
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = spec.Seed
+	cfg.Processors = spec.Processors
+	if cfg.Processors == 0 {
+		if alg == core.Sequential {
+			cfg.Processors = 1
+		} else {
+			cfg.Processors = 3
+		}
+	}
+	if limits.MaxProcessors > 0 && cfg.Processors > limits.MaxProcessors {
+		return nil, fmt.Errorf("processors: %d exceeds the service limit of %d", cfg.Processors, limits.MaxProcessors)
+	}
+	if spec.MaxEvaluations > 0 {
+		cfg.MaxEvaluations = spec.MaxEvaluations
+	}
+	if limits.MaxEvaluations > 0 && cfg.MaxEvaluations > limits.MaxEvaluations {
+		return nil, fmt.Errorf("max_evaluations: %d exceeds the service limit of %d", cfg.MaxEvaluations, limits.MaxEvaluations)
+	}
+	cfg.MaxSeconds = spec.MaxSeconds
+	if spec.Neighborhood > 0 {
+		cfg.NeighborhoodSize = spec.Neighborhood
+	}
+	if spec.Tenure > 0 {
+		cfg.TabuTenure = spec.Tenure
+	}
+	if spec.Archive > 0 {
+		cfg.ArchiveSize = spec.Archive
+	}
+	if spec.Nondom > 0 {
+		cfg.NondomSize = spec.Nondom
+	}
+	if spec.RestartIters > 0 {
+		cfg.RestartIterations = spec.RestartIters
+	}
+	cfg.Islands = spec.Islands
+	cfg.SampleEvery = spec.SampleEvery
+
+	switch spec.Backend {
+	case "", "sim":
+		j.backend = "sim"
+	case "goroutine":
+		j.backend = "goroutine"
+	default:
+		return nil, fmt.Errorf("backend: unknown backend %q (want sim or goroutine)", spec.Backend)
+	}
+
+	wall := spec.WallSeconds
+	if limits.MaxWallSeconds > 0 && (wall <= 0 || wall > limits.MaxWallSeconds) {
+		wall = limits.MaxWallSeconds
+	}
+	if wall > 0 {
+		j.wall = time.Duration(wall * float64(time.Second))
+	}
+
+	// A per-job telemetry layer with an event hook: the solver's stream
+	// events (archive_accept, init, restart, decision, ...) feed the
+	// job's event buffer and live front mirror. The layer carries no
+	// logger or JSONL writer, so instruments stay cheap.
+	j.tel = telemetry.New(nil, nil)
+	j.tel.SetHook(j.observe)
+	cfg.Telemetry = j.tel
+	j.cfg = cfg
+
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	return j, nil
+}
+
+// observe is the telemetry event hook. It runs on solver goroutines while
+// the job is running, so everything it touches is guarded by j.mu. The
+// fields map is freshly allocated per emission by the call sites, so
+// retaining it is safe.
+func (j *Job) observe(name string, fields map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch name {
+	case "init":
+		obj := objFromFields(fields)
+		if !j.haveRef {
+			// Same reference-point convention as the searcher's own
+			// hypervolume telemetry: a box comfortably dominating the
+			// construction solution.
+			j.hvRef = solution.Objectives{
+				Distance:  2*obj.Distance + 1,
+				Vehicles:  obj.Vehicles + 1,
+				Tardiness: 2*obj.Tardiness + 1,
+			}
+			j.haveRef = true
+		}
+		j.insertPointLocked(FrontPoint{
+			Distance: obj.Distance, Vehicles: obj.Vehicles, Tardiness: obj.Tardiness,
+			Feasible: obj.Feasible(), Proc: fieldInt(fields, "proc"),
+		})
+	case "archive_accept":
+		obj := objFromFields(fields)
+		j.insertPointLocked(FrontPoint{
+			Distance: obj.Distance, Vehicles: obj.Vehicles, Tardiness: obj.Tardiness,
+			Feasible:  obj.Feasible(),
+			Proc:      fieldInt(fields, "proc"),
+			Iteration: fieldInt(fields, "iteration"),
+			Time:      fieldFloat(fields, "time"),
+		})
+	}
+	j.appendEventLocked(name, fields)
+}
+
+// insertPointLocked merges one accepted point into the live front mirror,
+// keeping it mutually non-dominated. Accepted points come from per-process
+// archives, so the union needs this global dominance prune.
+func (j *Job) insertPointLocked(pt FrontPoint) {
+	obj := pt.objectives()
+	kept := j.front[:0]
+	for _, q := range j.front {
+		qo := q.objectives()
+		if qo.WeaklyDominates(obj) {
+			return // already covered; drop the newcomer
+		}
+		if !obj.Dominates(qo) {
+			kept = append(kept, q)
+		}
+	}
+	j.front = append(kept, pt)
+}
+
+// appendEventLocked appends to the bounded event buffer and wakes every
+// stream subscriber by closing and replacing the notify channel.
+func (j *Job) appendEventLocked(name string, fields map[string]any) {
+	j.lastSeq++
+	j.events = append(j.events, Event{Seq: j.lastSeq, TS: time.Now(), Name: name, Fields: fields})
+	if len(j.events) > maxEvents {
+		drop := len(j.events) - maxEvents
+		j.events = append(j.events[:0], j.events[drop:]...)
+	}
+	if len(j.events) > 0 {
+		j.firstSeq = j.events[0].Seq
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// eventsSince returns a copy of the retained events with Seq > after, a
+// channel closed on the next event, the last assigned Seq, and whether the
+// job is terminal (no further events will follow those returned).
+func (j *Job) eventsSince(after int) (evs []Event, notify <-chan struct{}, lastSeq int, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after < j.firstSeq-1 {
+		after = j.firstSeq - 1 // resume window fell off the buffer
+	}
+	for _, e := range j.events {
+		if e.Seq > after {
+			evs = append(evs, e)
+		}
+	}
+	return evs, j.notify, j.lastSeq, j.state.Terminal()
+}
+
+// Status is the JSON body of GET /v1/jobs/{id}: job identity and state,
+// live progress counters, and the current front with its quality metrics.
+type Status struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Instance    string     `json:"instance"`
+	Customers   int        `json:"customers"`
+	Algorithm   string     `json:"algorithm"`
+	Processors  int        `json:"processors"`
+	Backend     string     `json:"backend"`
+	Seed        uint64     `json:"seed"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+
+	// Evaluations and Iterations are live telemetry counters while the
+	// job runs and final totals afterwards.
+	Evaluations int64 `json:"evaluations"`
+	Iterations  int64 `json:"iterations"`
+	// Elapsed is the backend-reported runtime, available once terminal.
+	Elapsed float64 `json:"elapsed_seconds,omitempty"`
+	// LastEventSeq is the newest event Seq (the SSE resume cursor).
+	LastEventSeq int `json:"last_event_seq"`
+
+	Front []FrontPoint `json:"front,omitempty"`
+	// Hypervolume of the feasible members of Front against HVRef, and
+	// their Spacing; 0 until the front has feasible members.
+	Hypervolume float64              `json:"hypervolume,omitempty"`
+	Spacing     float64              `json:"spacing,omitempty"`
+	HVRef       *solution.Objectives `json:"hv_ref,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:           j.ID,
+		State:        j.state,
+		Instance:     j.instName,
+		Customers:    j.in.N(),
+		Algorithm:    j.alg.String(),
+		Processors:   j.cfg.Processors,
+		Backend:      j.backend,
+		Seed:         j.cfg.Seed,
+		SubmittedAt:  j.submitted,
+		Error:        j.errText,
+		LastEventSeq: j.lastSeq,
+		Front:        append([]FrontPoint(nil), j.front...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	search := j.tel.SearchGroup()
+	st.Evaluations = search.Evaluations.Load()
+	st.Iterations = search.Iterations.Load()
+	if j.result != nil {
+		st.Evaluations = int64(j.result.Evaluations)
+		st.Iterations = int64(j.result.Iterations)
+		st.Elapsed = j.result.Elapsed
+	}
+	if j.haveRef {
+		ref := j.hvRef
+		st.HVRef = &ref
+		var feas []solution.Objectives
+		for _, p := range st.Front {
+			if p.Feasible {
+				feas = append(feas, p.objectives())
+			}
+		}
+		st.Hypervolume = metrics.Hypervolume(feas, ref)
+		st.Spacing = metrics.Spacing(feas)
+	}
+	return st
+}
+
+// Result returns the stored run result, nil before the job is terminal.
+// Canceled jobs keep the partial result accumulated before cancellation.
+func (j *Job) Result() *core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// InstanceName returns the resolved instance name.
+func (j *Job) InstanceName() string { return j.instName }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// begin moves queued -> running. It returns false when the job was
+// canceled while waiting in the queue.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.appendEventLocked("started", map[string]any{"job": j.ID})
+	return true
+}
+
+// finish records the run outcome and moves the job to its terminal state:
+// failed on error, canceled when the user asked, done otherwise (including
+// wall-deadline expiry, which is a budget, not a cancellation).
+func (j *Job) finish(res *core.Result, err error) {
+	j.mu.Lock()
+	state := StateDone
+	fields := map[string]any{"job": j.ID}
+	switch {
+	case err != nil:
+		state = StateFailed
+		j.errText = err.Error()
+		fields["error"] = j.errText
+	case j.userCancel:
+		state = StateCanceled
+	}
+	if res != nil {
+		j.result = res
+		fields["evaluations"] = res.Evaluations
+		fields["iterations"] = res.Iterations
+		fields["elapsed_seconds"] = res.Elapsed
+		fields["front_size"] = len(res.Front)
+	}
+	j.terminalLocked(state, fields)
+	j.mu.Unlock()
+}
+
+// terminalLocked performs the one-and-only transition into a terminal
+// state: stamps the finish time, emits the lifecycle event, releases the
+// job's context, and tells the service the job is finished.
+func (j *Job) terminalLocked(state State, fields map[string]any) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.appendEventLocked(string(state), fields)
+	j.doneOnce.Do(func() {
+		j.cancel()
+		if j.svc != nil {
+			j.svc.jobDone()
+		}
+	})
+}
+
+// Cancel requests cancellation. A queued job turns canceled immediately; a
+// running one has its context cancelled and reaches the canceled state
+// (with its partial result) within one solver iteration. Terminal jobs are
+// unaffected. It returns the job's state after the request.
+func (j *Job) Cancel() State {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.userCancel = true
+		j.terminalLocked(StateCanceled, map[string]any{"job": j.ID, "while": "queued"})
+		j.mu.Unlock()
+		return StateCanceled
+	}
+	if j.state == StateRunning {
+		j.userCancel = true
+		state := j.state
+		j.mu.Unlock()
+		j.cancel()
+		return state
+	}
+	state := j.state
+	j.mu.Unlock()
+	return state
+}
+
+// objFromFields decodes the objective triple carried by solver events.
+func objFromFields(fields map[string]any) solution.Objectives {
+	return solution.Objectives{
+		Distance:  fieldFloat(fields, "distance"),
+		Vehicles:  fieldFloat(fields, "vehicles"),
+		Tardiness: fieldFloat(fields, "tardiness"),
+	}
+}
+
+func fieldFloat(fields map[string]any, key string) float64 {
+	switch v := fields[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	return 0
+}
+
+func fieldInt(fields map[string]any, key string) int {
+	switch v := fields[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	}
+	return 0
+}

@@ -1,0 +1,372 @@
+// Package service implements the solver-as-a-service daemon: a bounded
+// job queue feeding a fixed worker pool that runs TSMO searches
+// (internal/core) and streams their archive updates to subscribers. The
+// HTTP surface lives in http.go and is served by cmd/tsmod; the package
+// is equally usable embedded (see the e2e tests, which run it in-process).
+//
+// Design points, in ISSUE order: submissions beyond the queue bound are
+// rejected with ErrQueueFull so the transport can answer 429 with a
+// Retry-After hint (backpressure instead of unbounded buffering); each
+// job gets its own context, cancelled by DELETE or the per-job wall
+// deadline, which stops the search within one iteration via
+// core.RunContext; Drain stops intake, lets queued and running jobs
+// finish, and force-cancels whatever remains when its grace context
+// expires — the SIGTERM path of cmd/tsmod.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deme"
+	"repro/internal/telemetry"
+)
+
+// Submission failure modes, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining: the service no longer accepts jobs (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound: no such job id (HTTP 404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config parameterizes a Service. The zero value is usable: every field
+// has a default applied by New.
+type Config struct {
+	// Workers is the worker-pool size — the number of jobs solved
+	// concurrently. Default 2.
+	Workers int
+	// QueueDepth bounds the jobs waiting beyond the running ones;
+	// submissions past the bound get ErrQueueFull. Default 8.
+	QueueDepth int
+	// RetainJobs caps how many terminal jobs are kept for status and
+	// result queries; the oldest are evicted first. Default 64.
+	RetainJobs int
+	// MaxEvaluations caps the per-job evaluation budget. Default
+	// 1,000,000; <0 disables the cap.
+	MaxEvaluations int
+	// MaxProcessors caps the per-job process count. Default 16.
+	MaxProcessors int
+	// MaxCustomers caps the instance size. Default 1000.
+	MaxCustomers int
+	// MaxWallSeconds caps (and, when a job asks for none, defaults) the
+	// per-job real-time deadline. 0 means no deadline.
+	MaxWallSeconds float64
+	// RetryAfter is the backoff hint attached to 429/503 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Version is reported by GET /v1/healthz (see internal/buildinfo).
+	Version string
+	// Logger, when non-nil, receives job lifecycle log lines.
+	Logger *slog.Logger
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 64
+	}
+	if c.MaxEvaluations == 0 {
+		c.MaxEvaluations = 1_000_000
+	}
+	if c.MaxProcessors == 0 {
+		c.MaxProcessors = 16
+	}
+	if c.MaxCustomers == 0 {
+		c.MaxCustomers = 1000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Service is the job-queue daemon. Create with New, expose with Handler,
+// stop with Drain (graceful) or Close (abort).
+type Service struct {
+	cfg      Config
+	queue    chan *Job
+	stop     chan struct{}
+	stopOnce sync.Once
+	workerWG sync.WaitGroup
+	jobWG    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and eviction
+	nextID   int
+	draining bool
+	busy     int
+}
+
+// New starts a Service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. Validation failures return the
+// underlying error (HTTP 400); a full queue returns ErrQueueFull and a
+// draining service ErrDraining.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	j, err := newJob(spec, &s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	j.svc = s
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		j.cancel()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("j%06d", s.nextID)
+	j.submitted = time.Now()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.jobWG.Add(1)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	j.appendEventLocked("queued", map[string]any{"job": j.ID, "instance": j.instName, "algorithm": j.alg.String()})
+	j.mu.Unlock()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job queued", "job", j.ID, "instance", j.instName,
+			"algorithm", j.alg.String(), "processors", j.cfg.Processors, "backend", j.backend)
+	}
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+// Queued and running jobs are never evicted.
+func (s *Service) evictLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.cfg.RetainJobs && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job looks a job up by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all retained jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the identified job (see Job.Cancel for semantics).
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.Cancel()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job cancel requested", "job", id)
+	}
+	return j, nil
+}
+
+// jobDone is called exactly once per job as it reaches a terminal state
+// (from Job.terminalLocked, possibly holding the job's lock — it must not
+// take s.mu): it releases the drain waiter.
+func (s *Service) jobDone() {
+	s.jobWG.Done()
+}
+
+func (s *Service) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// runJob executes one job on the calling worker. Jobs canceled while
+// queued are skipped (begin refuses them). The search runs under the
+// job's context, bounded by the wall deadline when one is set, on a fresh
+// backend instance — a deterministic simulator per job, so equal
+// (instance, seed, config) submissions yield bit-identical archives.
+func (s *Service) runJob(j *Job) {
+	if !j.begin() {
+		return
+	}
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
+	}()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job started", "job", j.ID)
+	}
+
+	// Expose the running job's instruments on /debug/vars; with several
+	// workers the variable tracks the most recently started job.
+	telemetry.Publish(j.tel)
+
+	ctx := j.ctx
+	cancel := context.CancelFunc(func() {})
+	if j.wall > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.wall)
+	}
+	defer cancel()
+
+	var rt deme.Runtime
+	if j.backend == "goroutine" {
+		rt = deme.NewGoroutine()
+	} else {
+		rt = deme.NewSim(deme.Origin3800())
+	}
+	res, err := core.RunContext(ctx, j.alg, j.in, j.cfg, rt)
+	j.finish(res, err)
+	if s.cfg.Logger != nil {
+		st := j.Status()
+		s.cfg.Logger.Info("job finished", "job", j.ID, "state", string(st.State),
+			"evaluations", st.Evaluations, "front", len(st.Front))
+	}
+}
+
+// Drain performs a graceful shutdown: stop accepting submissions, let
+// queued and running jobs run to completion, and — if ctx expires first —
+// cancel everything still alive and wait for the partial results to be
+// recorded. The worker pool is stopped before returning.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		for _, j := range s.Jobs() {
+			j.Cancel()
+		}
+		<-finished
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workerWG.Wait()
+	return nil
+}
+
+// Close aborts the service: every job is cancelled and the worker pool is
+// stopped once their partial results are recorded.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for _, j := range s.Jobs() {
+		j.Cancel()
+	}
+	s.jobWG.Wait()
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workerWG.Wait()
+}
+
+// Stats is the health snapshot reported by GET /v1/healthz.
+type Stats struct {
+	// Status is "ok" while accepting jobs, "draining" afterwards.
+	Status  string `json:"status"`
+	Version string `json:"version,omitempty"`
+	Workers int    `json:"workers"`
+	// Busy is the number of workers currently running a job.
+	Busy int `json:"busy"`
+	// QueueLen and QueueCap describe the waiting line feeding the pool.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// Jobs counts retained jobs by state.
+	Jobs map[State]int `json:"jobs"`
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Status:   "ok",
+		Version:  s.cfg.Version,
+		Workers:  s.cfg.Workers,
+		Busy:     s.busy,
+		QueueLen: len(s.queue),
+		QueueCap: cap(s.queue),
+		Jobs:     make(map[State]int),
+	}
+	if s.draining {
+		st.Status = "draining"
+	}
+	for _, id := range s.order {
+		st.Jobs[s.jobs[id].State()]++
+	}
+	return st
+}
+
+// RetryAfter returns the configured backoff hint.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }

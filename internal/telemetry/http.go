@@ -22,16 +22,30 @@ var (
 	current     atomic.Pointer[Telemetry]
 )
 
-// publish registers t as the process-wide expvar "telemetry" variable.
+// Publish registers t as the process-wide expvar "telemetry" variable.
 // expvar names are process-global, so registration happens once and the
-// variable always reflects the most recently served layer.
-func publish(t *Telemetry) {
+// variable always reflects the most recently published layer. The solver
+// service republishes on every job start so /debug/vars tracks the most
+// recent job.
+func Publish(t *Telemetry) {
 	current.Store(t)
 	publishOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
 			return current.Load().Snapshot()
 		}))
 	})
+}
+
+// RegisterDebug installs the debug endpoints — /debug/pprof/* and
+// /debug/vars (expvar) — on an existing mux, so servers with their own
+// routing (cmd/tsmod) can host them next to their API.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 }
 
 // Server is a live observability endpoint.
@@ -46,18 +60,13 @@ type Server struct {
 // It returns once the listener is bound; serving continues in the
 // background until Close.
 func Serve(addr string, t *Telemetry) (*Server, error) {
-	publish(t)
+	Publish(t)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
+	RegisterDebug(mux)
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(current.Load().Snapshot()) //nolint:errcheck // diagnostics endpoint

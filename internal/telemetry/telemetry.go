@@ -632,7 +632,15 @@ type Telemetry struct {
 
 	log    *slog.Logger
 	writer *Writer
+	hook   EventHook
 }
+
+// EventHook receives every emitted event in-process. Hooks run on the
+// emitting goroutine and must be safe for concurrent use; the fields map
+// is owned by the hook after the call (emitters build a fresh map per
+// event). The solver service uses a hook to stream archive updates to
+// HTTP subscribers as they happen.
+type EventHook func(name string, fields map[string]any)
 
 // New returns an enabled telemetry layer. logger and w may each be nil:
 // events then skip that sink; the instruments record regardless.
@@ -640,8 +648,26 @@ func New(logger *slog.Logger, w *Writer) *Telemetry {
 	return &Telemetry{log: logger, writer: w}
 }
 
+// SetHook installs h as the in-process event sink. It must be called
+// before the instrumented run starts and is not safe to call concurrently
+// with event emission.
+func (t *Telemetry) SetHook(h EventHook) {
+	if t == nil {
+		return
+	}
+	t.hook = h
+}
+
 // Enabled reports whether the layer records anything.
 func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Sinks reports whether any event sink (logger, JSONL writer, or hook) is
+// attached. Emitters that would fire per-iteration build their field maps
+// only when this is true, keeping an instruments-only layer allocation-free
+// on the hot path.
+func (t *Telemetry) Sinks() bool {
+	return t != nil && (t.log != nil || t.writer != nil || t.hook != nil)
+}
 
 // Logger returns the event logger, or a discarding logger when disabled,
 // so callers can log unconditionally off the hot path.

@@ -79,12 +79,16 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
-// Event records one structured occurrence on both sinks: as a JSONL line
-// ({"ts": ..., "event": name, ...fields}) and as a Debug message on the
-// slog stream. A nil receiver drops it. fields may be nil.
+// Event records one structured occurrence on every sink: as a JSONL line
+// ({"ts": ..., "event": name, ...fields}), as a Debug message on the slog
+// stream, and on the in-process hook when one is installed. A nil
+// receiver drops it. fields may be nil.
 func (t *Telemetry) Event(name string, fields map[string]any) {
 	if t == nil {
 		return
+	}
+	if t.hook != nil {
+		t.hook(name, fields)
 	}
 	if t.log != nil {
 		attrs := make([]any, 0, 2*len(fields))

@@ -23,6 +23,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/moea"
 	"repro/internal/mots"
+	"repro/internal/service"
 	"repro/internal/solution"
 	"repro/internal/vrptw"
 	"repro/internal/wsum"
@@ -171,6 +173,42 @@ func Solve(alg Algorithm, in *Instance, cfg Config) (*Result, error) {
 func SolveOn(alg Algorithm, in *Instance, cfg Config, rt Runtime) (*Result, error) {
 	return core.Run(alg, in, cfg, rt)
 }
+
+// SolveContext is Solve with cooperative cancellation: when ctx is
+// cancelled (or its deadline expires) the search stops within one
+// iteration and the partial result is returned with a nil error; check
+// ctx.Err() to distinguish a cancelled run from a completed one.
+func SolveContext(ctx context.Context, alg Algorithm, in *Instance, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, alg, in, cfg, deme.NewSim(deme.Origin3800()))
+}
+
+// SolveOnContext is SolveOn with cooperative cancellation (see
+// SolveContext).
+func SolveOnContext(ctx context.Context, alg Algorithm, in *Instance, cfg Config, rt Runtime) (*Result, error) {
+	return core.RunContext(ctx, alg, in, cfg, rt)
+}
+
+// Solver service: the embeddable job-queue daemon behind cmd/tsmod. See
+// internal/service and DESIGN.md §9.
+type (
+	// Service is the solver daemon: a bounded job queue feeding a
+	// worker pool, with an HTTP API (Service.Handler) that streams
+	// archive updates per job.
+	Service = service.Service
+	// ServiceConfig parameterizes a Service.
+	ServiceConfig = service.Config
+	// Job is one solve job owned by a Service.
+	Job = service.Job
+	// JobSpec describes a job submission.
+	JobSpec = service.JobSpec
+	// JobState is a job's lifecycle state.
+	JobState = service.State
+	// JobStatus is a job's status snapshot (state, live front, metrics).
+	JobStatus = service.Status
+)
+
+// NewService starts a solver service with cfg's worker pool.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Coverage is Zitzler's set coverage C(a, b): the fraction of b weakly
 // dominated by a (the paper's quality metric).

@@ -5,9 +5,13 @@
 #                          iteration on a 400-customer instance)
 #   BENCH_telemetry.json — disabled- vs enabled-telemetry searcher
 #                          iteration and the relative overhead
+#   BENCH_service.json   — solver-service load generator: p50/p99 submit-to-
+#                          first-point latency and jobs/min with the queue
+#                          saturated (scripts/loadgen)
 #   BENCH_history.jsonl  — timestamped archive of every prior BENCH_*.json,
 #                          appended before each file is overwritten
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
+# LOADGEN_JOBS overrides the load-generator job count (default 24).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,3 +76,11 @@ awk '
     printf "}\n"
   }' "$TMP" > BENCH_telemetry.json
 echo "wrote BENCH_telemetry.json"
+
+# The service load report: an in-process daemon on a 2-worker pool, driven
+# by more submitters than workers+queue so the queue saturates and 429
+# backpressure engages.
+archive BENCH_service.json
+go run ./scripts/loadgen -jobs "${LOADGEN_JOBS:-24}" -workers 2 -queue 4 -concurrency 8 \
+  > BENCH_service.json
+echo "wrote BENCH_service.json"

@@ -1,0 +1,213 @@
+// Command loadgen measures the solver service under load: it boots an
+// in-process tsmod service on an ephemeral port, pushes jobs through the
+// HTTP API from several concurrent submitters, and reports submit-to-
+// first-point latency percentiles and the sustained completion rate at
+// queue saturation. scripts/bench.sh runs it to refresh BENCH_service.json.
+//
+//	go run ./scripts/loadgen -jobs 24 -workers 2 -queue 4 -concurrency 4
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+type report struct {
+	Jobs        int     `json:"jobs"`
+	Workers     int     `json:"workers"`
+	QueueDepth  int     `json:"queue_depth"`
+	Concurrency int     `json:"concurrency"`
+	Evaluations int     `json:"evaluations_per_job"`
+	Customers   int     `json:"customers"`
+	Rejected429 int     `json:"submit_rejections_429"`
+	P50FirstMs  float64 `json:"p50_submit_to_first_point_ms"`
+	P99FirstMs  float64 `json:"p99_submit_to_first_point_ms"`
+	JobsPerMin  float64 `json:"jobs_per_min_at_saturation"`
+	ElapsedSecs float64 `json:"elapsed_seconds"`
+}
+
+func main() {
+	var (
+		jobs        = flag.Int("jobs", 24, "total jobs to push through the service")
+		workers     = flag.Int("workers", 2, "service worker-pool size")
+		queue       = flag.Int("queue", 4, "service queue depth")
+		concurrency = flag.Int("concurrency", 4, "concurrent submitters (beyond workers+queue saturates)")
+		evals       = flag.Int("evals", 30000, "evaluation budget per job")
+		n           = flag.Int("n", 40, "instance size per job (customers)")
+	)
+	flag.Parse()
+	if err := run(*jobs, *workers, *queue, *concurrency, *evals, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobs, workers, queue, concurrency, evals, n int) error {
+	svc := service.New(service.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		RetainJobs:     jobs + 1,
+		MaxEvaluations: -1,
+		RetryAfter:     100 * time.Millisecond,
+	})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // closed on exit
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rejected  int
+		firstErr  error
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				lat, rej, err := pushJob(base, evals, n, uint64(i+1))
+				mu.Lock()
+				rejected += rej
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("job %d: %w", i, err)
+				} else if err == nil {
+					latencies = append(latencies, lat.Seconds()*1000)
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	sort.Float64s(latencies)
+	rep := report{
+		Jobs:        jobs,
+		Workers:     workers,
+		QueueDepth:  queue,
+		Concurrency: concurrency,
+		Evaluations: evals,
+		Customers:   n,
+		Rejected429: rejected,
+		P50FirstMs:  percentile(latencies, 0.50),
+		P99FirstMs:  percentile(latencies, 0.99),
+		JobsPerMin:  float64(len(latencies)) / elapsed.Minutes(),
+		ElapsedSecs: elapsed.Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// pushJob submits one job (retrying on 429 backpressure, honoring the
+// Retry-After hint) and follows its event stream to completion. It returns
+// the submit-to-first-accepted-point latency and the 429 count.
+func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error) {
+	spec := service.JobSpec{
+		Instance:       service.InstanceSpec{Class: "R1", N: n, Seed: 3},
+		MaxEvaluations: evals,
+		Seed:           seed,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	rejected := 0
+	var id string
+	submitted := time.Now()
+	for {
+		submitted = time.Now()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, rejected, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+			wait := time.Second
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				wait = time.Duration(s) * time.Second
+			}
+			resp.Body.Close()
+			time.Sleep(wait)
+			continue
+		}
+		var sub service.SubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			return 0, rejected, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, rejected, fmt.Errorf("submit: %s", resp.Status)
+		}
+		id = sub.ID
+		break
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return 0, rejected, err
+	}
+	defer resp.Body.Close()
+	var firstPoint time.Duration
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "event: ") {
+			continue
+		}
+		if firstPoint == 0 && strings.TrimPrefix(line, "event: ") == "archive_accept" {
+			firstPoint = time.Since(submitted)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, rejected, err
+	}
+	if firstPoint == 0 {
+		return 0, rejected, fmt.Errorf("job %s finished without an accepted point", id)
+	}
+	return firstPoint, rejected, nil
+}
+
+// percentile returns the pth (0..1) percentile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
