@@ -393,10 +393,13 @@ type Status struct {
 	HVRef       *solution.Objectives `json:"hv_ref,omitempty"`
 }
 
-// Status snapshots the job.
+// Status snapshots the job. The state copy happens under j.mu but the
+// front-quality metrics (hypervolume, spacing) are computed on the
+// snapshot after the lock is released: for large fronts they are the
+// expensive part, and holding j.mu through them would block the solver's
+// observe hook on every status poll.
 func (j *Job) Status() Status {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	st := Status{
 		ID:           j.ID,
 		State:        j.state,
@@ -419,16 +422,23 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.FinishedAt = &t
 	}
-	search := j.tel.SearchGroup()
-	st.Evaluations = search.Evaluations.Load()
-	st.Iterations = search.Iterations.Load()
 	if j.result != nil {
 		st.Evaluations = int64(j.result.Evaluations)
 		st.Iterations = int64(j.result.Iterations)
 		st.Elapsed = j.result.Elapsed
 	}
-	if j.haveRef {
-		ref := j.hvRef
+	haveRef, ref := j.haveRef, j.hvRef
+	haveResult := j.result != nil
+	j.mu.Unlock()
+
+	if !haveResult {
+		// Live counters are atomics on the immutable per-job telemetry
+		// layer; no lock needed.
+		search := j.tel.SearchGroup()
+		st.Evaluations = search.Evaluations.Load()
+		st.Iterations = search.Iterations.Load()
+	}
+	if haveRef {
 		st.HVRef = &ref
 		var feas []solution.Objectives
 		for _, p := range st.Front {

@@ -142,25 +142,32 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		j.cancel()
 		return nil, ErrDraining
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		j.cancel()
-		return nil, ErrQueueFull
-	}
+	// Register the job completely before it becomes runnable: once the
+	// channel send succeeds a worker may dequeue it immediately, so the
+	// send must happen-after the ID/submitted writes, the "queued" event,
+	// and jobWG.Add — otherwise a fast job could observe half-built state
+	// or call jobWG.Done before the Add.
 	s.nextID++
 	j.ID = fmt.Sprintf("j%06d", s.nextID)
 	j.submitted = time.Now()
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j.ID)
-	s.jobWG.Add(1)
-	s.evictLocked()
-	s.mu.Unlock()
-
 	j.mu.Lock()
 	j.appendEventLocked("queued", map[string]any{"job": j.ID, "instance": j.instName, "algorithm": j.alg.String()})
 	j.mu.Unlock()
+	s.jobWG.Add(1)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.jobWG.Done()
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	s.evictLocked()
+	s.mu.Unlock()
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("job queued", "job", j.ID, "instance", j.instName,
 			"algorithm", j.alg.String(), "processors", j.cfg.Processors, "backend", j.backend)

@@ -87,9 +87,6 @@ func (t *Telemetry) Event(name string, fields map[string]any) {
 	if t == nil {
 		return
 	}
-	if t.hook != nil {
-		t.hook(name, fields)
-	}
 	if t.log != nil {
 		attrs := make([]any, 0, 2*len(fields))
 		for k, v := range fields {
@@ -105,6 +102,12 @@ func (t *Telemetry) Event(name string, fields map[string]any) {
 		rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
 		rec["event"] = name
 		t.writer.Emit(rec)
+	}
+	// The hook runs last: it owns the fields map after the call (it may
+	// retain it or hand it to another goroutine), so the logger and writer
+	// must finish iterating it first.
+	if t.hook != nil {
+		t.hook(name, fields)
 	}
 }
 
