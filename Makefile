@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs service-e2e chaos fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs service-e2e recover-e2e chaos fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -36,6 +36,16 @@ allocs:
 # Covers the acceptance path: submit, stream, cancel, drain on SIGTERM.
 service-e2e:
 	$(GO) test -race -count 1 ./internal/service/ ./cmd/tsmod/ ./cmd/tsmoctl/
+
+# recover-e2e runs the durability acceptance suite under the race
+# detector: checkpoint/resume bit-identity across every variant, the
+# journal replay and crash-snapshot service tests, and the kill -9 daemon
+# e2e (a real tsmod process SIGKILLed mid-job, restarted, and checked
+# against an uninterrupted reference run).
+recover-e2e:
+	$(GO) test -race -count 1 -run 'TestResumeBitIdentical|TestResumeRejectsMismatch|TestCheckpointConfigGuards' ./internal/core/
+	$(GO) test -race -count 1 -run 'TestJournal|TestDurable|TestCrashRecovery|TestIdempotent' ./internal/service/
+	$(GO) test -race -count 1 -v -run 'TestKill9Recovery' ./cmd/tsmod/
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector: every scenario must complete, stay bit-identical across

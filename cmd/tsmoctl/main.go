@@ -13,12 +13,17 @@ package main
 import (
 	"bufio"
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -147,7 +152,9 @@ func (c *client) submit(args []string) error {
 	fs.Float64Var(&spec.WallSeconds, "wall", 0, "real-time deadline in seconds (0 = server default)")
 	fs.StringVar(&spec.Backend, "backend", "", "runtime backend: sim or goroutine (default sim)")
 	fs.IntVar(&spec.SampleEvery, "sample", 0, "record convergence samples every this many evaluations")
+	fs.StringVar(&spec.IdempotencyKey, "idem", "", "idempotency key (default: a fresh random key per invocation)")
 	wait := fs.Bool("wait", false, "follow the event stream until the job finishes")
+	retries := fs.Int("retries", 4, "transient-failure retries (429/503/5xx/network), exponential backoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,11 +168,17 @@ func (c *client) submit(args []string) error {
 	} else if spec.Instance.Class == "" {
 		spec.Instance.Class = "R1"
 	}
+	if spec.IdempotencyKey == "" {
+		// A fresh key per invocation makes the retry loop below safe: a
+		// resubmission whose first attempt actually landed returns the
+		// job already created instead of a duplicate.
+		spec.IdempotencyKey = randomKey()
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := postWithRetry(c.base+"/v1/jobs", body, *retries)
 	if err != nil {
 		return err
 	}
@@ -186,6 +199,77 @@ func (c *client) submit(args []string) error {
 		return c.follow(sub.ID, 0)
 	}
 	return nil
+}
+
+// randomKey generates a fresh idempotency key.
+func randomKey() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to a time-based key; uniqueness per invocation is all
+		// the retry loop needs.
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// postWithRetry POSTs body, retrying transient failures — connection
+// errors, 429, 503 and other 5xx — with capped exponential backoff and
+// jitter. A Retry-After header on 429/503 overrides the computed delay.
+// Non-transient statuses (400, 404, ...) return immediately.
+func postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
+	const (
+		baseDelay = 250 * time.Millisecond
+		maxDelay  = 5 * time.Second
+	)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		switch {
+		case err == nil && !transientStatus(resp.StatusCode):
+			return resp, nil
+		case err == nil:
+			lastErr = fmt.Errorf("server answered %s", resp.Status)
+			if attempt >= retries {
+				return resp, nil // surface the final transient response
+			}
+			delay := retryDelay(attempt, baseDelay, maxDelay)
+			if d := retryAfter(resp); d > 0 {
+				delay = d
+			}
+			resp.Body.Close()
+			time.Sleep(delay)
+		default:
+			lastErr = err
+			if attempt >= retries {
+				return nil, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+			}
+			time.Sleep(retryDelay(attempt, baseDelay, maxDelay))
+		}
+	}
+}
+
+// transientStatus reports whether a response is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryDelay is capped exponential backoff with full jitter.
+func retryDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(rand.Int63n(int64(d))) + base/2
+}
+
+// retryAfter parses a whole-second Retry-After header, 0 when absent.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
 }
 
 // jobID extracts the single job-id argument of a subcommand.
@@ -235,11 +319,55 @@ func (c *client) events(args []string) error {
 }
 
 // follow prints a job's SSE stream, one "seq name json-fields" line per
-// event, until the server ends it (job terminal) or the connection drops.
+// event, until the job is terminal. A dropped connection — daemon restart,
+// network blip — is not fatal: follow reconnects with Last-Event-ID set to
+// the last event it printed, so the stream resumes without gaps or
+// duplicates. It gives up after several consecutive attempts that deliver
+// nothing, or on a non-retryable API error (404 after eviction, ...).
 func (c *client) follow(id string, after int) error {
+	const maxIdleRetries = 5
+	failures := 0
+	var lastErr error
+	for failures <= maxIdleRetries {
+		last, terminal, err := c.streamOnce(id, after)
+		if terminal {
+			return nil
+		}
+		if err != nil {
+			var pe *permanentError
+			if errors.As(err, &pe) {
+				return pe.err
+			}
+			lastErr = err
+		}
+		if last > after {
+			failures = 0 // the connection made progress; keep following
+			after = last
+		} else {
+			failures++
+		}
+		time.Sleep(retryDelay(failures, 250*time.Millisecond, 5*time.Second))
+	}
+	if lastErr != nil {
+		return fmt.Errorf("event stream kept failing: %w", lastErr)
+	}
+	return fmt.Errorf("event stream for %s ended without a terminal event", id)
+}
+
+// permanentError marks an API failure follow must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// streamOnce runs one SSE connection. It returns the last event Seq it
+// printed, whether a terminal lifecycle event (done/failed/canceled) was
+// seen — the server ends the stream right after delivering it — and the
+// transport error that cut the stream short, if any.
+func (c *client) streamOnce(id string, after int) (last int, terminal bool, err error) {
+	last = after
 	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return last, false, &permanentError{err}
 	}
 	if after > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprint(after))
@@ -247,12 +375,16 @@ func (c *client) follow(id string, after int) error {
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := (&http.Client{Timeout: 0}).Do(req)
 	if err != nil {
-		return err
+		return last, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
-		return apiError(resp, body)
+		err := apiError(resp, body)
+		if transientStatus(resp.StatusCode) {
+			return last, false, err
+		}
+		return last, false, &permanentError{err}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -270,6 +402,11 @@ func (c *client) follow(id string, after int) error {
 			fields = nil
 		}
 		fmt.Fprintf(c.out, "%6d %s %-16s %s\n", ev.Seq, ev.TS.Format(time.TimeOnly), ev.Name, fields)
+		last = ev.Seq
+		switch ev.Name {
+		case string(service.StateDone), string(service.StateFailed), string(service.StateCanceled):
+			terminal = true
+		}
 	}
-	return sc.Err()
+	return last, terminal, sc.Err()
 }

@@ -10,6 +10,13 @@
 // SIGINT/SIGTERM trigger a graceful drain: intake stops (503), queued and
 // running jobs finish — bounded by -drain-timeout, after which they are
 // cancelled and keep their partial fronts — and the process exits 0.
+//
+// With -data-dir the daemon is durable: submissions are journaled before
+// they are acknowledged, running searches checkpoint every -ckpt-every
+// iterations, and a restart — graceful or kill -9 — recovers every job:
+// finished ones keep serving their results, interrupted ones resume from
+// their last checkpoint and produce the same front they would have
+// produced uninterrupted (on the deterministic sim backend).
 package main
 
 import (
@@ -39,6 +46,8 @@ func main() {
 		maxProcs     = flag.Int("max-procs", 16, "per-job processor cap")
 		maxCustomers = flag.Int("max-customers", 1000, "instance-size cap")
 		maxWall      = flag.Float64("max-wall", 0, "per-job wall-clock deadline cap in seconds (0 = none)")
+		dataDir      = flag.String("data-dir", "", "durable state directory: job journal, checkpoints, results (empty = in-memory)")
+		ckptEvery    = flag.Int("ckpt-every", 0, "search-checkpoint interval in iterations for durable jobs (0 = default 500)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "grace period for running jobs on shutdown")
 		logLevel     = flag.String("log-level", "info", "slog level: debug, info, warn or error")
 		version      = flag.Bool("version", false, "print the version and exit")
@@ -49,14 +58,16 @@ func main() {
 		return
 	}
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RetainJobs:     *retain,
-		MaxEvaluations: *maxEvals,
-		MaxProcessors:  *maxProcs,
-		MaxCustomers:   *maxCustomers,
-		MaxWallSeconds: *maxWall,
-		Version:        buildinfo.Version(),
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RetainJobs:      *retain,
+		MaxEvaluations:  *maxEvals,
+		MaxProcessors:   *maxProcs,
+		MaxCustomers:    *maxCustomers,
+		MaxWallSeconds:  *maxWall,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		Version:         buildinfo.Version(),
 	}
 	if err := run(*addr, cfg, *drainTimeout, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "tsmod:", err)
@@ -74,14 +85,19 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, logLevel s
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	cfg.Logger = logger
 
-	svc := service.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
-	ln, err := net.Listen("tcp", addr)
+	svc, err := service.Open(cfg)
 	if err != nil {
 		return err
 	}
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
 	logger.Info("tsmod listening", "addr", ln.Addr().String(),
-		"workers", cfg.Workers, "queue", cfg.QueueDepth, "version", cfg.Version)
+		"workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"data_dir", cfg.DataDir, "version", cfg.Version)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -35,7 +35,12 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = rec != nil || len(peers) == 0 || p.ID() == 0
-	s.init(p)
+	rp := cfg.resumePart(p.ID())
+	if rp != nil {
+		s.restoreFrom(rp)
+	} else {
+		s.init(p)
+	}
 	fg := cfg.Telemetry.FaultGroup()
 
 	initial := append([]int(nil), workers...)
@@ -108,12 +113,24 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 	}
 
 	commList := append([]int(nil), peers...)
-	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
 	initialPhase := true
 	shares := 0
 
 	var pending []cand
 	var protoErr error
+
+	if rp != nil {
+		// The checkpoint was taken at a quiesced barrier: every worker
+		// idle, no results in flight — exactly the state the arrays above
+		// initialize to. Pending candidates and sharing state come from
+		// the checkpoint; the commList shuffle must not re-consume RNG.
+		pending = restorePending(in, rp.Pending)
+		commList = append(commList[:0], rp.CommList...)
+		initialPhase = rp.InitialPhase
+		shares = rp.Shares
+	} else {
+		r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
+	}
 
 	as := cfg.Telemetry.AsyncGroup()
 	sh := cfg.Telemetry.ShareGroup()
@@ -282,6 +299,54 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			dropDeadPeers(p, &commList, fg)
 			if len(commList) > 0 {
 				shares += sendShare(p, in, cfg, s.cur, &commList)
+			}
+		}
+
+		if cfg.checkpointDue(s.iter) && !s.done(p) && protoErr == nil {
+			// Checkpoint barrier. First quiesce: wait for every remaining
+			// worker to go idle, folding stragglers' results into pending
+			// — they join the next iteration's candidate set, exactly as
+			// in the uninterrupted checkpointing trajectory. Then run the
+			// capture/ack round against a system with nothing in flight.
+			quiesced := true
+			misses := 0
+			for protoErr == nil {
+				reap()
+				busy := false
+				for _, w := range workers {
+					if !idle[w] {
+						busy = true
+						break
+					}
+				}
+				if !busy {
+					break
+				}
+				m, ok := p.RecvTimeout(cfg.RecvTimeout)
+				if !ok {
+					misses++
+					if misses >= cfg.EvictAfter {
+						quiesced = false // persistently silent worker
+						break
+					}
+					continue
+				}
+				protoErr = handle(m)
+			}
+			if protoErr != nil {
+				break
+			}
+			b := s.iter / cfg.CheckpointEvery
+			if quiesced && ckptWorkers(p, cfg, workers, b) {
+				st := s.capture(p, b, false)
+				st.Pending = capturePending(in, pending)
+				st.CommList = append([]int(nil), commList...)
+				st.InitialPhase = initialPhase
+				st.Shares = shares
+				cfg.coll.put(p.ID(), st)
+				cfg.emitCheckpoint(b)
+			} else {
+				cfg.Telemetry.CheckpointGroup().Skip()
 			}
 		}
 	}

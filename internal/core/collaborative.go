@@ -21,29 +21,133 @@ import (
 // earlier — are dropped from the communication list before each share, so
 // a searcher never keeps addressing the dead. Receiving is non-blocking
 // (TryRecv), so a dead peer can never deadlock a searcher.
+//
+// Checkpointing uses a two-phase barrier coordinated by process 0 (see
+// collabBarrier): on tagCkptReq a searcher acks and pauses — folding
+// shares, sending nothing — until tagCkptGo, then captures its part and
+// acks again. A searcher that finishes its budget writes a final (Done)
+// part so later barriers of still-running peers stay complete; a resumed
+// Done searcher re-deposits that part and exits immediately.
 func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *Trajectory) procOutcome {
 	nbh, tenure, restart := cfg.NeighborhoodSize, cfg.TabuTenure, cfg.RestartIterations
+	rp := cfg.resumePart(p.ID())
 	if p.ID() > 0 {
-		nbh = perturb(r, nbh)
-		tenure = perturb(r, tenure)
-		restart = perturb(r, restart)
+		if rp != nil {
+			// Restore the perturbed parameters instead of re-perturbing,
+			// which would consume RNG draws the restored stream already
+			// spent.
+			nbh, tenure, restart = rp.Neighborhood, rp.Tenure, rp.RestartIters
+		} else {
+			nbh = perturb(r, nbh)
+			tenure = perturb(r, tenure)
+			restart = perturb(r, restart)
+		}
 	}
 	s := newSearcher(in, cfg, r, nbh, tenure, restart)
 	s.rec = rec
 	s.sampleOn = p.ID() == 0
-	s.init(p)
-
-	commList := make([]int, 0, p.P()-1)
-	for id := 0; id < p.P(); id++ {
-		if id != p.ID() {
-			commList = append(commList, id)
-		}
-	}
-	r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
-	initialPhase := true
-	shares := 0
 	sh := cfg.Telemetry.ShareGroup()
 	fg := cfg.Telemetry.FaultGroup()
+
+	commList := make([]int, 0, p.P()-1)
+	initialPhase := true
+	shares := 0
+	if rp != nil {
+		s.restoreFrom(rp)
+		if rp.Done {
+			// This searcher had already finished when the checkpoint was
+			// taken; its part is final. Re-deposit it for the resumed
+			// run's barriers and replay the exit.
+			cfg.coll.put(p.ID(), rp)
+			return s.outcome(rp.Shares)
+		}
+		commList = append(commList, rp.CommList...)
+		initialPhase = rp.InitialPhase
+		shares = rp.Shares
+	} else {
+		// Construct before shuffling the communication list: both draw
+		// from r, and the stream order is observable (bit-identity with
+		// pre-checkpointing runs).
+		s.init(p)
+		for id := 0; id < p.P(); id++ {
+			if id != p.ID() {
+				commList = append(commList, id)
+			}
+		}
+		r.Shuffle(len(commList), func(i, j int) { commList[i], commList[j] = commList[j], commList[i] })
+	}
+
+	// foldShare merges one shared solution into M_nondom; barrier control
+	// traffic and other strays are ignored.
+	foldShare := func(m deme.Message) error {
+		if m.Tag != tagShare {
+			return nil
+		}
+		sol, okPayload := m.Data.(*solution.Solution)
+		if !okPayload {
+			fg.Malformed()
+			return fmt.Errorf("peer %d sent a malformed share payload %T", m.From, m.Data)
+		}
+		// Deserializing a foreign solution and checking it against the
+		// 50-entry M_nondom costs several times a plain neighbor update.
+		p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
+		sh.Received(s.nondom.Add(sol))
+		return nil
+	}
+
+	// capturePart snapshots this searcher plus its sharing state.
+	capturePart := func(barrier int) *SearcherState {
+		st := s.capture(p, barrier, false)
+		st.CommList = append([]int(nil), commList...)
+		st.InitialPhase = initialPhase
+		st.Shares = shares
+		return st
+	}
+
+	// pause services one barrier as a follower: ack the request, block —
+	// folding shares, sending nothing — until process 0 releases the
+	// barrier, then capture and ack a second time. Shares folded here
+	// were sent before their sender saw the request, so they land on the
+	// pre-capture side of the cut on both ends.
+	pause := func(barrier int) error {
+		p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
+		for {
+			m, ok := p.RecvTimeout(cfg.RecvTimeout)
+			if !ok {
+				if cfg.cancelled() || !p.Alive(0) {
+					return nil // coordinator gone: abandon the barrier
+				}
+				continue
+			}
+			switch m.Tag {
+			case tagCkptGo:
+				if _, isSim := p.(deme.Snapshotter); isSim {
+					// Simulator: ack first so the captured clock includes
+					// the send overhead; the deposit is visible before
+					// the next yield.
+					p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
+					cfg.coll.put(p.ID(), capturePart(barrier))
+				} else {
+					// Real concurrency: deposit before acking so the
+					// coordinator's assembly observes the part.
+					cfg.coll.put(p.ID(), capturePart(barrier))
+					p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
+				}
+				return nil
+			case tagCkptReq:
+				// The coordinator abandoned the previous barrier and
+				// opened the next one; answer the fresh request.
+				if cm, okPayload := m.Data.(ckptMsg); okPayload {
+					barrier = cm.barrier
+				}
+				p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
+			default:
+				if err := foldShare(m); err != nil {
+					return err
+				}
+			}
+		}
+	}
 
 	for !s.done(p) {
 		// Fold in solutions shared by the other searchers.
@@ -52,19 +156,20 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			if !ok {
 				break
 			}
-			if m.Tag != tagShare {
+			if m.Tag == tagCkptReq && p.ID() > 0 {
+				cm, okPayload := m.Data.(ckptMsg)
+				if !okPayload {
+					fg.Malformed()
+					continue
+				}
+				if err := pause(cm.barrier); err != nil {
+					return s.failOutcome(err)
+				}
 				continue
 			}
-			sol, okPayload := m.Data.(*solution.Solution)
-			if !okPayload {
-				fg.Malformed()
-				return s.failOutcome(fmt.Errorf("peer %d sent a malformed share payload %T", m.From, m.Data))
+			if err := foldShare(m); err != nil {
+				return s.failOutcome(err)
 			}
-			// Deserializing a foreign solution and checking it
-			// against the 50-entry M_nondom costs several times a
-			// plain neighbor update.
-			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
-			sh.Received(s.nondom.Add(sol))
 		}
 
 		cands := s.generate(p, s.neighborhood)
@@ -82,6 +187,23 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 				shares += sendShare(p, in, cfg, s.cur, &commList)
 			}
 		}
+
+		if p.ID() == 0 && cfg.checkpointDue(s.iter) && !s.done(p) {
+			b := s.iter / cfg.CheckpointEvery
+			if err := collabBarrier(p, cfg, b, foldShare, func() {
+				cfg.coll.put(p.ID(), capturePart(b))
+			}); err != nil {
+				return s.failOutcome(err)
+			}
+		}
+	}
+	if cfg.checkpointing() {
+		// Final part: barriers of still-running peers need this
+		// searcher's state even after its body returns. Written before
+		// the return, so Alive(id) == false implies the part is present.
+		st := capturePart(0)
+		st.Done = true
+		cfg.coll.put(p.ID(), st)
 	}
 	return s.outcome(shares)
 }

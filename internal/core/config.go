@@ -180,6 +180,21 @@ type Config struct {
 	// master (or searcher 0) after every SampleEvery evaluations; see
 	// Result.Samples.
 	SampleEvery int
+	// CheckpointEvery, when positive, enables durable checkpointing: at
+	// every CheckpointEvery-th master iteration the run executes a
+	// checkpoint barrier, captures the complete search state of every
+	// process, and hands the assembled Checkpoint to CheckpointSink.
+	// Checkpointing is a run mode: the barrier messages consume virtual
+	// time, so a checkpointed run's trajectory differs (deterministically)
+	// from an uncheckpointed one — and a run resumed from any of its
+	// checkpoints is bit-identical to the same run left uninterrupted.
+	// Incompatible with Combined, RecordTrajectory and MaxSeconds.
+	CheckpointEvery int
+	// CheckpointSink receives every assembled checkpoint. It is called
+	// from the master/searcher-0 process; on the goroutine backend that
+	// is a live goroutine, so sinks must be fast or hand off. A sink
+	// error is counted in telemetry and the run continues.
+	CheckpointSink func(*Checkpoint) error
 	// Telemetry, when non-nil, enables the observability layer: atomic
 	// search/operator/delta counters, async decision-function tracing,
 	// worker idle accounting, and (when the layer carries sinks) the
@@ -193,6 +208,16 @@ type Config struct {
 	// loop head, so cancellation stops a run within one iteration and
 	// the partial result is still returned.
 	ctx context.Context
+
+	// Checkpointing internals, set by RunContext: the algorithm of the
+	// run (for checkpoint assembly), the instance/config fingerprints,
+	// the per-run part collector, and — on a resumed run — the
+	// checkpoint to restore from.
+	alg        Algorithm
+	instDigest string
+	cfgDigest  string
+	coll       *ckptCollector
+	resume     *Checkpoint
 }
 
 // cancelled reports whether the run's context (if any) is done.
@@ -288,6 +313,20 @@ func (c *Config) validate(in *vrptw.Instance, alg Algorithm) error {
 	}
 	if c.RestartIterations < 1 {
 		return fmt.Errorf("core: RestartIterations must be >= 1, got %d", c.RestartIterations)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 {
+		if alg == Combined {
+			return fmt.Errorf("core: checkpointing does not support the combined variant")
+		}
+		if c.RecordTrajectory {
+			return fmt.Errorf("core: checkpointing is incompatible with RecordTrajectory")
+		}
+		if c.MaxSeconds > 0 {
+			return fmt.Errorf("core: checkpointing is incompatible with MaxSeconds (an absolute time budget cannot survive a resume)")
+		}
 	}
 	switch alg {
 	case Sequential:

@@ -33,10 +33,14 @@ const shareHandlingFactor = 8
 
 // Message tags used between processes.
 const (
-	tagWork   = iota + 1 // master -> worker: workMsg
-	tagResult            // worker -> master: resultMsg
-	tagStop              // master -> worker: terminate
-	tagShare             // searcher -> searcher: *solution.Solution
+	tagWork    = iota + 1 // master -> worker: workMsg
+	tagResult             // worker -> master: resultMsg
+	tagStop               // master -> worker: terminate
+	tagShare              // searcher -> searcher: *solution.Solution
+	tagCkpt               // master -> worker: capture your part, then ack (ckptMsg)
+	tagCkptAck            // worker/peer -> coordinator: part captured (ckptMsg)
+	tagCkptReq            // collaborative proc 0 -> peer: barrier request (ckptMsg)
+	tagCkptGo             // collaborative proc 0 -> peer: all peers paused, capture now (ckptMsg)
 )
 
 // workMsg carries one chunk of neighborhood work. The asynchronous master
@@ -79,6 +83,24 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 		return nil, err
 	}
 	cfg.ctx = ctx
+	cfg.alg = alg
+	if cfg.checkpointing() {
+		cfg.instDigest = instanceDigest(in)
+		cfg.cfgDigest = configDigest(&cfg, alg)
+		cfg.coll = newCkptCollector(cfg.Processors)
+		if ck := cfg.resume; ck != nil {
+			if err := ck.matches(alg, &cfg); err != nil {
+				return nil, err
+			}
+			if rs, ok := rt.(deme.Restorer); ok {
+				snaps := make([]deme.ProcSnapshot, cfg.Processors)
+				for i, part := range ck.Parts {
+					snaps[i] = part.Proc
+				}
+				rs.RestoreProcs(snaps)
+			}
+		}
+	}
 	// Pre-derive one deterministic RNG seed per process so results do
 	// not depend on scheduling.
 	base := rng.New(cfg.Seed)
@@ -105,14 +127,14 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 			if id == 0 {
 				outcomes[id] = syncMaster(p, in, &cfg, r, rec)
 			} else {
-				workerLoop(p, in, &cfg, r, 0)
+				workerLoop(p, in, &cfg, r, seeds[id], 0)
 			}
 		case Asynchronous:
 			if id == 0 {
 				workers := procRange(1, cfg.Processors)
 				outcomes[id] = asyncMaster(p, in, &cfg, r, workers, nil, rec)
 			} else {
-				workerLoop(p, in, &cfg, r, 0)
+				workerLoop(p, in, &cfg, r, seeds[id], 0)
 			}
 		case Collaborative:
 			outcomes[id] = collaborativeBody(p, in, &cfg, r, rec)
@@ -124,7 +146,7 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 				peers := otherMasters(masters, id)
 				outcomes[id] = asyncMaster(p, in, &cfg, r, workers, peers, rec)
 			} else {
-				workerLoop(p, in, &cfg, r, masters[m])
+				workerLoop(p, in, &cfg, r, seeds[id], masters[m])
 			}
 		}
 	}

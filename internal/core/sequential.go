@@ -14,7 +14,11 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = true
-	s.init(p)
+	if st := cfg.resumePart(p.ID()); st != nil {
+		s.restoreFrom(st)
+	} else {
+		s.init(p)
+	}
 	for !s.done(p) {
 		cands := s.generate(p, s.neighborhood)
 		if len(cands) == 0 {
@@ -23,6 +27,11 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 			s.evals++
 		}
 		s.step(p, cands)
+		if cfg.checkpointDue(s.iter) && !s.done(p) {
+			b := s.iter / cfg.CheckpointEvery
+			cfg.coll.put(p.ID(), s.capture(p, b, false))
+			cfg.emitCheckpoint(b)
+		}
 	}
 	return s.outcome(0)
 }

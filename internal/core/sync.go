@@ -30,7 +30,11 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = true
-	s.init(p)
+	if st := cfg.resumePart(p.ID()); st != nil {
+		s.restoreFrom(st)
+	} else {
+		s.init(p)
+	}
 	fg := cfg.Telemetry.FaultGroup()
 
 	alive := procRange(1, p.P())
@@ -159,6 +163,20 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			}
 		}
 		s.step(p, cands)
+		if cfg.checkpointDue(s.iter) && !s.done(p) {
+			// Checkpoint barrier: every alive worker deposits its runtime
+			// snapshot and acks; the master then captures itself and
+			// assembles. Workers are idle between iterations, so the
+			// barrier fits between the result collection and the next
+			// dispatch.
+			b := s.iter / cfg.CheckpointEvery
+			if ckptWorkers(p, cfg, alive, b) {
+				cfg.coll.put(p.ID(), s.capture(p, b, false))
+				cfg.emitCheckpoint(b)
+			} else {
+				cfg.Telemetry.CheckpointGroup().Skip()
+			}
+		}
 	}
 	stopWorkers(p)
 	return s.outcome(0)

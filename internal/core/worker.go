@@ -20,7 +20,13 @@ import (
 // Receives are bounded by Config.RecvTimeout so an orphaned worker — its
 // master crashed before sending tagStop — notices via Proc.Alive and exits
 // instead of blocking forever.
-func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, master int) {
+//
+// Under checkpointing the worker re-seeds its RNG per asynchronous chunk
+// from (seed, master iteration), so it carries no RNG state across chunks:
+// a checkpoint needs only the worker's runtime snapshot, and a resumed
+// worker reproduces every chunk's candidate stream exactly. tagCkpt asks
+// the worker to deposit that snapshot into the run's collector and ack.
+func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed uint64, master int) {
 	gen := operators.NewGenerator(in, cfg.Operators)
 	gen.DeltaStats = cfg.Telemetry.DeltaGroup()
 	gen.SpliceStats = cfg.Telemetry.SpliceGroup()
@@ -41,6 +47,28 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 		}
 		if m.Tag == tagStop {
 			return
+		}
+		if m.Tag == tagCkpt {
+			cm, okPayload := m.Data.(ckptMsg)
+			if !okPayload {
+				fg.Malformed()
+				continue
+			}
+			part := &SearcherState{ID: p.ID(), Barrier: cm.barrier, Worker: true}
+			if sn, isSim := p.(deme.Snapshotter); isSim {
+				// Simulator: ack first so the captured clock includes the
+				// send overhead (a resumed worker does not re-ack); the
+				// deposit is still visible before this process next yields.
+				p.Send(m.From, tagCkptAck, ckptMsg{barrier: cm.barrier}, 0)
+				part.Proc = sn.Snapshot()
+				cfg.coll.put(p.ID(), part)
+			} else {
+				// Real concurrency: deposit before acking so the master's
+				// assembly, which follows the ack, observes the part.
+				cfg.coll.put(p.ID(), part)
+				p.Send(m.From, tagCkptAck, ckptMsg{barrier: cm.barrier}, 0)
+			}
+			continue
 		}
 		if m.Tag != tagWork {
 			continue // stray share/result messages are not for workers
@@ -64,6 +92,9 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, maste
 			p.Send(master, tagResult, resultMsg{objs: objs, lo: w.lo, iter: w.iter}, len(objs)*solBytes(in))
 			ws.Chunk(len(objs), busyStart-idleStart, p.Now()-busyStart)
 			continue
+		}
+		if cfg.checkpointing() {
+			r.Seed(chunkSeed(seed, w.iter))
 		}
 		cs := gen.Candidates(w.cur, r, w.count)
 		cands := make([]cand, len(cs))

@@ -20,7 +20,11 @@
 // Time is expressed in modeled seconds throughout.
 package deme
 
-import "context"
+import (
+	"context"
+
+	"repro/internal/rng"
+)
 
 // Message is the unit of inter-process communication.
 type Message struct {
@@ -82,6 +86,32 @@ type Runtime interface {
 // body to return, it only stops them from sleeping through the cancel.
 type ContextRunner interface {
 	RunContext(ctx context.Context, n int, body func(Proc)) error
+}
+
+// ProcSnapshot captures the runtime-level state of one simulated process
+// for checkpointing: its virtual clock, its persistent speed-skew factor
+// and the jitter stream consumed by Compute's noise model. Restoring these
+// alongside the search state makes a resumed simulation's event order —
+// and therefore its results — bit-identical to the uninterrupted run. The
+// goroutine backend has no such state; its procs do not implement
+// Snapshotter and a zero ProcSnapshot (Speed 0) means "nothing captured".
+type ProcSnapshot struct {
+	Clock  float64   `json:"clock"`
+	Speed  float64   `json:"speed"`
+	Jitter rng.State `json:"jitter"`
+}
+
+// Snapshotter is implemented by Procs whose runtime state can be captured
+// into a ProcSnapshot (the simulator's processes).
+type Snapshotter interface {
+	Snapshot() ProcSnapshot
+}
+
+// Restorer is implemented by Runtimes that can restore per-process runtime
+// state before the next Run (the simulator). Snapshots are indexed by
+// process ID; entries with Speed 0 are skipped.
+type Restorer interface {
+	RestoreProcs(snaps []ProcSnapshot)
 }
 
 // RunWith runs body on rt under ctx: runtimes implementing ContextRunner

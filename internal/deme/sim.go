@@ -25,6 +25,10 @@ type Sim struct {
 	yield chan *simProc
 	seq   uint64
 	stats []ProcStats
+
+	// restore holds per-process runtime snapshots to apply at the next
+	// runCtx; consumed (one-shot) so later Runs start fresh.
+	restore []ProcSnapshot
 }
 
 // NewSim returns a simulator of the given machine.
@@ -171,6 +175,20 @@ func (p *simProc) RecvTimeout(seconds float64) (Message, bool) {
 // reading a sibling's state is race-free.
 func (p *simProc) Alive(id int) bool { return p.sim.procs[id].state != stDone }
 
+// Snapshot implements Snapshotter: the process's clock, speed skew and
+// jitter-stream state, captured at a quiescent point chosen by the body.
+func (p *simProc) Snapshot() ProcSnapshot {
+	return ProcSnapshot{Clock: p.clock, Speed: p.speed, Jitter: p.jitter.State()}
+}
+
+// RestoreProcs implements Restorer: the next Run's processes start from
+// the given snapshots (indexed by ID) instead of fresh clocks and jitter
+// streams. Entries with Speed 0 — processes captured on a backend without
+// runtime state — are skipped.
+func (s *Sim) RestoreProcs(snaps []ProcSnapshot) {
+	s.restore = snaps
+}
+
 // yield hands control to the scheduler and waits to be resumed.
 func (p *simProc) yield() {
 	p.sim.yield <- p
@@ -228,6 +246,18 @@ func (s *Sim) runCtx(ctx context.Context, n int, body func(Proc)) error {
 			state:  stReady,
 			resume: make(chan struct{}),
 		}
+	}
+	if s.restore != nil {
+		for i, p := range s.procs {
+			if i >= len(s.restore) || s.restore[i].Speed <= 0 {
+				continue
+			}
+			sn := s.restore[i]
+			p.clock = sn.Clock
+			p.speed = sn.Speed
+			p.jitter.SetState(sn.Jitter)
+		}
+		s.restore = nil
 	}
 	for _, p := range s.procs {
 		go func(p *simProc) {

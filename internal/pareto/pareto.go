@@ -52,6 +52,15 @@ func (a *Archive) Snapshot() []*solution.Solution {
 	return append([]*solution.Solution(nil), a.items...)
 }
 
+// Restore replaces the archive contents with items, preserving their
+// order. Order is part of the archive's observable state: eviction picks
+// the first minimum-crowding member, and Random/TakeRandom index the
+// slice directly — a checkpoint must round-trip it exactly. The caller
+// guarantees items are mutually non-dominated and within capacity.
+func (a *Archive) Restore(items []*solution.Solution) {
+	a.items = append(a.items[:0], items...)
+}
+
 // Add offers s to the archive. It is rejected if any member weakly
 // dominates it (this includes exact objective duplicates). Otherwise the
 // members it dominates are removed, s is inserted, and if the archive then

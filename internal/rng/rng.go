@@ -47,6 +47,31 @@ func (r *Rand) Seed(seed uint64) {
 	r.gauss = 0
 }
 
+// State is the full serializable generator state: the xoshiro256** words
+// plus the polar-method gauss cache. Exporting and re-importing a State
+// reproduces the stream exactly — including the next NormFloat64, which
+// may come from the cache rather than the uniform stream. The uint64
+// words survive JSON round-trips exactly: encoding/json prints them as
+// full-precision decimal integers and parses them back with ParseUint.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	HasGauss bool      `json:"has_gauss,omitempty"`
+	Gauss    float64   `json:"gauss,omitempty"`
+}
+
+// State exports the generator's complete state for checkpointing.
+func (r *Rand) State() State {
+	return State{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// SetState restores a state captured by State. The restored generator
+// produces exactly the stream the captured one would have produced.
+func (r *Rand) SetState(st State) {
+	r.s = st.S
+	r.hasGauss = st.HasGauss
+	r.gauss = st.Gauss
+}
+
 // Split returns a new generator whose stream is independent of r's.
 // It is the supported way to derive per-worker generators from a run seed.
 func (r *Rand) Split() *Rand {

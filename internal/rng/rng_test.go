@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -61,6 +62,71 @@ func TestSeedResets(t *testing.T) {
 	for i := range first {
 		if got := r.Uint64(); got != first[i] {
 			t.Fatalf("after reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	f := func(seed uint64, warmup uint8) bool {
+		r := New(seed)
+		for i := 0; i < int(warmup%64); i++ {
+			r.Uint64()
+		}
+		if warmup%3 == 0 {
+			r.NormFloat64() // leave the gauss cache populated half the time
+		}
+		st := r.State()
+		var clone Rand
+		clone.SetState(st)
+		for i := 0; i < 256; i++ {
+			switch i % 4 {
+			case 0:
+				if r.Uint64() != clone.Uint64() {
+					return false
+				}
+			case 1:
+				if r.Float64() != clone.Float64() {
+					return false
+				}
+			case 2:
+				if r.NormFloat64() != clone.NormFloat64() {
+					return false
+				}
+			default:
+				if r.Intn(97) != clone.Intn(97) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	r.NormFloat64() // cached deviate must survive the round trip
+	data, err := json.Marshal(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	var clone Rand
+	clone.SetState(st)
+	if a, b := r.NormFloat64(), clone.NormFloat64(); a != b {
+		t.Fatalf("cached gauss deviate diverged after JSON: %v vs %v", a, b)
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != clone.Uint64() {
+			t.Fatalf("streams diverged at step %d after JSON round trip", i)
 		}
 	}
 }

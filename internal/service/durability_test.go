@@ -1,0 +1,372 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// durableConfig is a durable single-worker service rooted at a fresh
+// temporary directory, checkpointing every few iterations so even short
+// test jobs cross several barriers.
+func durableConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{Workers: 1, DataDir: t.TempDir(), CheckpointEvery: 3}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jl, recs, torn, err := openJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn != 0 {
+		t.Fatalf("fresh journal: %d records, %d torn", len(recs), torn)
+	}
+	spec := smallSpec()
+	want := []journalRecord{
+		{Type: "submit", Job: "j000001", Spec: &spec},
+		{Type: "start", Job: "j000001"},
+		{Type: "ckpt", Job: "j000001", Barrier: 4},
+		{Type: "done", Job: "j000001"},
+	}
+	for _, rec := range want {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2, recs, torn, err := openJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if torn != 0 {
+		t.Fatalf("torn records on clean reopen: %d", torn)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("reopened journal has %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Type != want[i].Type || rec.Job != want[i].Job || rec.Barrier != want[i].Barrier {
+			t.Errorf("record %d: got %+v, want %+v", i, rec, want[i])
+		}
+		if rec.TS.IsZero() {
+			t.Errorf("record %d lost its timestamp", i)
+		}
+	}
+	if recs[0].Spec == nil || recs[0].Spec.MaxEvaluations != spec.MaxEvaluations {
+		t.Errorf("submit record lost its spec: %+v", recs[0].Spec)
+	}
+}
+
+// TestJournalTornTail crashes mid-append: the final record is half a JSON
+// object. Recovery must log and drop it — never refuse to start — and keep
+// every intact record before it.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	spec := smallSpec()
+	specJSON, err := json.Marshal(journalRecord{Type: "submit", Job: "j000001", Spec: &spec, TS: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneJSON, err := json.Marshal(journalRecord{Type: "done", Job: "j000001", TS: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(specJSON) + "\n" + string(doneJSON) + "\n" + `{"type":"submit","job":"j0000`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := Open(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("recovery refused a torn journal: %v", err)
+	}
+	defer svc.Close()
+	st := svc.Stats()
+	if st.TornRecords != 1 {
+		t.Errorf("torn records: got %d, want 1", st.TornRecords)
+	}
+	if st.Recovered != 1 {
+		t.Errorf("recovered jobs: got %d, want 1", st.Recovered)
+	}
+	j, ok := svc.Job("j000001")
+	if !ok {
+		t.Fatal("job lost during torn-tail recovery")
+	}
+	if j.State() != StateDone {
+		t.Errorf("recovered job state: got %s, want done", j.State())
+	}
+}
+
+// TestDurableRestartServesResults drains a durable service and reopens its
+// data directory: finished jobs must come back terminal, still serving
+// their persisted fronts and totals.
+func TestDurableRestartServesResults(t *testing.T) {
+	cfg := durableConfig(t)
+	svc := New(cfg)
+	j, err := svc.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	res := j.Result()
+	if res == nil || len(res.Front) == 0 {
+		t.Fatal("job finished without a front")
+	}
+	svc.Close()
+
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	j2, ok := svc2.Job(j.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", j.ID)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("recovered job state: got %s, want done", j2.State())
+	}
+	ff := j2.restoredFront()
+	if ff == nil {
+		t.Fatal("recovered job serves no result")
+	}
+	if ff.Evaluations != res.Evaluations {
+		t.Errorf("restored evaluations: got %d, want %d", ff.Evaluations, res.Evaluations)
+	}
+	if len(ff.Solutions) != len(res.Front) {
+		t.Fatalf("restored front size: got %d, want %d", len(ff.Solutions), len(res.Front))
+	}
+	for i, sol := range ff.Solutions {
+		if sol.Distance != res.Front[i].Obj.Distance ||
+			sol.Vehicles != res.Front[i].Obj.Vehicles ||
+			sol.Tardiness != res.Front[i].Obj.Tardiness {
+			t.Errorf("restored front[%d] objectives diverged: %+v", i, sol)
+		}
+	}
+	st := j2.Status()
+	if st.Evaluations != int64(res.Evaluations) {
+		t.Errorf("status evaluations: got %d, want %d", st.Evaluations, res.Evaluations)
+	}
+}
+
+// copyTree copies a data directory as a crash snapshot: everything fsynced
+// by the service is on disk, so the copy is what a kill -9 at that instant
+// would have left behind.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryResumesDeterministically snapshots a durable service's
+// data directory while a job is mid-run — past at least one checkpoint —
+// and opens a second service on the snapshot, exactly what a kill -9 and
+// restart would do. The resumed job must finish with a front bit-identical
+// to an uninterrupted reference run of the same spec.
+func TestCrashRecoveryResumesDeterministically(t *testing.T) {
+	spec := JobSpec{
+		Instance:       InstanceSpec{Class: "R1", N: 40, Seed: 3},
+		Algorithm:      "asynchronous",
+		Processors:     3,
+		MaxEvaluations: 60_000,
+		Seed:           7,
+	}
+
+	// Reference: the same durable configuration, run to completion.
+	refCfg := durableConfig(t)
+	refSvc := New(refCfg)
+	refJob, err := refSvc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, refJob, StateDone)
+	ref := refJob.Result()
+	if ref == nil || len(ref.Front) == 0 {
+		t.Fatal("reference job produced no front")
+	}
+	refSvc.Close()
+
+	// Victim: snapshot its data directory once the first checkpoint is on
+	// disk, while the job is still running.
+	cfg := durableConfig(t)
+	svc := New(cfg)
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := filepath.Join(cfg.DataDir, "jobs", j.ID, "ckpt.json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckptPath); err == nil {
+			break
+		}
+		if j.State().Terminal() {
+			t.Fatal("job finished before its first checkpoint; lower CheckpointEvery")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snapshot := t.TempDir()
+	copyTree(t, cfg.DataDir, snapshot)
+	svc.Close()
+
+	// Restart on the snapshot: the job must be re-queued and resumed.
+	cfg2 := cfg
+	cfg2.DataDir = snapshot
+	svc2, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Stats().Requeued; got != 1 {
+		t.Fatalf("requeued jobs after crash: got %d, want 1", got)
+	}
+	j2, ok := svc2.Job(j.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered from snapshot", j.ID)
+	}
+	waitState(t, j2, StateDone)
+	res := j2.Result()
+	if res == nil {
+		t.Fatal("resumed job produced no result")
+	}
+	if res.Evaluations != ref.Evaluations {
+		t.Errorf("evaluations: resumed %d, reference %d", res.Evaluations, ref.Evaluations)
+	}
+	if len(res.Front) != len(ref.Front) {
+		t.Fatalf("front size: resumed %d, reference %d", len(res.Front), len(ref.Front))
+	}
+	for i := range ref.Front {
+		if res.Front[i].Obj != ref.Front[i].Obj {
+			t.Errorf("front[%d] objectives: resumed %+v, reference %+v", i, res.Front[i].Obj, ref.Front[i].Obj)
+		}
+		if len(res.Front[i].Routes) != len(ref.Front[i].Routes) {
+			t.Errorf("front[%d]: route counts differ", i)
+			continue
+		}
+		for r := range ref.Front[i].Routes {
+			w, g := ref.Front[i].Routes[r], res.Front[i].Routes[r]
+			if len(w) != len(g) {
+				t.Errorf("front[%d] route %d differs", i, r)
+				continue
+			}
+			for k := range w {
+				if w[k] != g[k] {
+					t.Errorf("front[%d] route %d differs at stop %d", i, r, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestIdempotentSubmit covers retry safety: a duplicate key returns the
+// original job in-process and — on a durable service — across a restart.
+func TestIdempotentSubmit(t *testing.T) {
+	cfg := durableConfig(t)
+	svc := New(cfg)
+	spec := smallSpec()
+	spec.IdempotencyKey = "retry-me"
+	j1, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID != j2.ID {
+		t.Fatalf("duplicate key created a second job: %s vs %s", j1.ID, j2.ID)
+	}
+	waitState(t, j1, StateDone)
+	svc.Close()
+
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	j3, err := svc2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != j1.ID {
+		t.Fatalf("idempotency key did not survive the restart: %s vs %s", j3.ID, j1.ID)
+	}
+	if j3.State() != StateDone {
+		t.Errorf("recovered idempotent job state: got %s, want done", j3.State())
+	}
+
+	// A different key is a different job.
+	spec.IdempotencyKey = "another"
+	j4, err := svc2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4.ID == j1.ID {
+		t.Error("distinct keys shared a job")
+	}
+}
+
+// TestJournalCompaction: reopening rewrites the journal to its minimal
+// form, so it does not grow without bound across restarts.
+func TestJournalCompaction(t *testing.T) {
+	cfg := durableConfig(t)
+	svc := New(cfg)
+	for i := 0; i < 3; i++ {
+		j, err := svc.Submit(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateDone)
+	}
+	svc.Close()
+
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2.Close()
+
+	_, recs, torn, err := openJournal(filepath.Join(cfg.DataDir, "journal.jsonl"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("compacted journal has %d torn records", torn)
+	}
+	// 3 jobs × (submit + done), nothing else.
+	if len(recs) != 6 {
+		t.Errorf("compacted journal has %d records, want 6", len(recs))
+	}
+}

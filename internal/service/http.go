@@ -78,6 +78,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrStorage):
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -145,6 +148,13 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res := j.Result()
 	if res == nil {
+		// A job recovered after a restart serves its persisted result:
+		// the in-memory *core.Result died with the old process, but the
+		// front file survived in the data directory.
+		if ff := j.restoredFront(); ff != nil {
+			writeJSON(w, http.StatusOK, ff)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("job %s produced no result", j.ID))
 		return
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/resultio"
 	"repro/internal/solution"
 	"repro/internal/telemetry"
 	"repro/internal/vrptw"
@@ -84,6 +85,12 @@ type JobSpec struct {
 	Backend string `json:"backend,omitempty"`
 	// SampleEvery enables convergence samples in the stored result.
 	SampleEvery int `json:"sample_every,omitempty"`
+	// IdempotencyKey, when non-empty, makes the submission retry-safe: a
+	// second submission carrying a key the service has already accepted
+	// returns the original job instead of creating a duplicate. Keys live
+	// as long as their job is retained and survive daemon restarts on
+	// durable services.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Event is one entry of a job's event stream: service lifecycle events
@@ -137,6 +144,12 @@ type Job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	doneOnce sync.Once
+
+	// resume is the recovered checkpoint a re-queued job continues from;
+	// restored is the persisted result a recovered terminal job serves.
+	// Both are set only during recovery, before the job is reachable.
+	resume   *core.Checkpoint
+	restored *resultio.FrontFile
 
 	mu         sync.Mutex
 	state      State
@@ -426,9 +439,13 @@ func (j *Job) Status() Status {
 		st.Evaluations = int64(j.result.Evaluations)
 		st.Iterations = int64(j.result.Iterations)
 		st.Elapsed = j.result.Elapsed
+	} else if j.restored != nil {
+		// A terminal job recovered from disk: serve the persisted totals.
+		st.Evaluations = int64(j.restored.Evaluations)
+		st.Elapsed = j.restored.Elapsed
 	}
 	haveRef, ref := j.haveRef, j.hvRef
-	haveResult := j.result != nil
+	haveResult := j.result != nil || j.restored != nil
 	j.mu.Unlock()
 
 	if !haveResult {
@@ -458,6 +475,14 @@ func (j *Job) Result() *core.Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// restoredFront returns the persisted result a recovered terminal job
+// serves when its in-memory *core.Result was lost with the old process.
+func (j *Job) restoredFront() *resultio.FrontFile {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restored
 }
 
 // InstanceName returns the resolved instance name.
@@ -523,6 +548,10 @@ func (j *Job) terminalLocked(state State, fields map[string]any) {
 	j.doneOnce.Do(func() {
 		j.cancel()
 		if j.svc != nil {
+			// Persist before releasing the drain waiter: once jobDone
+			// returns, a clean shutdown may proceed, and the result plus
+			// its journal record must already be on disk.
+			j.svc.persistTerminal(j, state)
 			j.svc.jobDone()
 		}
 	})

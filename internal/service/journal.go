@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The write-ahead job journal. Every job-state transition the service must
+// survive a crash is appended — and fsynced — to an append-only JSONL file
+// before the transition takes effect, so a kill -9 at any instant loses at
+// most the record being written. Recovery (see recover.go) replays the
+// journal to rebuild the job table: terminal jobs serve their persisted
+// results, incomplete jobs are re-queued from their latest checkpoint.
+//
+// Record types, in lifecycle order:
+//
+//	submit    job accepted; carries the full JobSpec (and idempotency key)
+//	start     a worker began running the job
+//	ckpt      a search checkpoint reached disk (jobs/<id>/ckpt.json)
+//	done      the job finished; jobs/<id>/result.json holds the front
+//	failed    the job failed; Error carries the message
+//	canceled  the job was canceled (its partial result, if any, persisted)
+//	evict     the job fell out of retention; its directory is gone
+//
+// A torn final record — the crash hit mid-append — is logged, counted and
+// dropped; recovery never refuses to start over journal damage.
+type journalRecord struct {
+	Type    string    `json:"type"`
+	TS      time.Time `json:"ts"`
+	Job     string    `json:"job,omitempty"`
+	Spec    *JobSpec  `json:"spec,omitempty"`
+	Barrier int       `json:"barrier,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// journal is the fsync-on-append JSONL WAL. Appends come from submission
+// (under the service lock), checkpoint sinks (solver goroutines) and
+// terminal transitions (under job locks), so the journal serializes them
+// itself; mu is a leaf lock — nothing is acquired while holding it.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// openJournal reads every intact record of the journal at path (creating
+// it when absent) and opens it for appending. Records that fail to parse —
+// the torn tail of a crashed append, or any other damage — are dropped and
+// counted, never fatal: losing one record costs at most one job's latest
+// transition, which recovery handles, while refusing to start would cost
+// the whole journal.
+func openJournal(path string, logger *slog.Logger) (*journal, []journalRecord, int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("opening journal: %w", err)
+	}
+	var recs []journalRecord
+	torn := 0
+	sc := bufio.NewScanner(io.NewSectionReader(f, 0, 1<<62))
+	sc.Buffer(make([]byte, 0, 64*1024), maxBodyBytes+64*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			torn++
+			if logger != nil {
+				logger.Warn("journal: dropping unreadable record", "line", line, "error", err)
+			}
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An oversized or unreadable tail: keep what parsed so far.
+		torn++
+		if logger != nil {
+			logger.Warn("journal: truncated scan", "line", line, "error", err)
+		}
+	}
+	return &journal{path: path, f: f}, recs, torn, nil
+}
+
+// append durably writes one record: marshal, write, fsync.
+func (jl *journal) append(rec journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	rec.TS = time.Now().UTC()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %s record: %w", rec.Type, err)
+	}
+	data = append(data, '\n')
+	if _, err := jl.f.Write(data); err != nil {
+		return fmt.Errorf("journal: appending %s record: %w", rec.Type, err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s record: %w", rec.Type, err)
+	}
+	return nil
+}
+
+// rewrite compacts the journal to exactly recs: write a temporary file,
+// fsync it, rename it over the journal, fsync the directory. Called during
+// recovery, before the worker pool starts, so no append races it.
+func (jl *journal) rewrite(recs []journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	tmp := jl.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("journal: encoding compacted record: %w", err)
+		}
+		w.Write(data)     //nolint:errcheck // flushed below
+		w.WriteByte('\n') //nolint:errcheck // flushed below
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing compacted journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: syncing compacted journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, jl.path); err != nil {
+		return fmt.Errorf("journal: installing compacted journal: %w", err)
+	}
+	if err := jl.f.Close(); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopening compacted journal: %w", err)
+	}
+	jl.f = nf
+	return syncDir(filepath.Dir(jl.path))
+}
+
+// Close releases the journal file.
+func (jl *journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.f.Close()
+}
+
+// writeFileSync durably installs data at path: write to a sibling
+// temporary file, fsync, rename into place, fsync the directory — so a
+// crash leaves either the old file or the new one, never a torn mix.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

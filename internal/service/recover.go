@@ -1,0 +1,246 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/resultio"
+)
+
+// Open starts a Service. With cfg.DataDir set the service is durable: job
+// state is journaled (journal.go) and checkpointed, and Open begins by
+// recovering whatever a previous process — cleanly drained or killed mid
+// job — left behind. Recovery replays the journal, re-serves terminal jobs
+// from their persisted results, re-queues incomplete jobs from their
+// latest on-disk checkpoint (or from scratch when none was reached), and
+// compacts the journal before the worker pool starts. Without a DataDir,
+// Open is New: an in-memory service that cannot fail to construct.
+func Open(cfg Config) (*Service, error) {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		jobs: make(map[string]*Job),
+		idem: make(map[string]string),
+	}
+	var requeue []*Job
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating data dir: %w", err)
+		}
+		jl, recs, torn, err := openJournal(filepath.Join(cfg.DataDir, "journal.jsonl"), cfg.Logger)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.jl = jl
+		s.torn = torn
+		requeue = s.replay(recs)
+		if err := s.jl.rewrite(s.compactRecords()); err != nil {
+			return nil, fmt.Errorf("service: compacting journal: %w", err)
+		}
+	}
+	// Recovered incomplete jobs must all fit back in the queue even when
+	// there are more of them than the configured bound admits; the bound
+	// still applies to new submissions (Submit pre-checks occupancy).
+	qcap := cfg.QueueDepth
+	if len(requeue) > qcap {
+		qcap = len(requeue)
+	}
+	s.queue = make(chan *Job, qcap)
+	for _, j := range requeue {
+		s.jobWG.Add(1)
+		s.queue <- j
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replayJob accumulates one job's journal records during replay.
+type replayJob struct {
+	spec    JobSpec
+	state   State
+	errText string
+	barrier int
+	evicted bool
+}
+
+// replay folds the journal into the job table. Terminal jobs come back
+// with their persisted result; queued and running jobs come back queued,
+// carrying their latest decodable checkpoint. Jobs whose records are
+// incomplete (a torn submit) or whose spec no longer validates are logged
+// and dropped — recovery keeps every job it can and never refuses to
+// start. It returns the jobs to put back on the queue, in submission
+// order.
+func (s *Service) replay(recs []journalRecord) []*Job {
+	table := make(map[string]*replayJob)
+	var order []string
+	for _, rec := range recs {
+		if rec.Job == "" {
+			continue
+		}
+		rj := table[rec.Job]
+		if rj == nil {
+			if rec.Type != "submit" || rec.Spec == nil {
+				s.logWarn("recovery: dropping record for unknown job", "job", rec.Job, "type", rec.Type)
+				continue
+			}
+			rj = &replayJob{spec: *rec.Spec, state: StateQueued}
+			table[rec.Job] = rj
+			order = append(order, rec.Job)
+		}
+		switch rec.Type {
+		case "submit": // handled above
+		case "start":
+			rj.state = StateRunning
+		case "ckpt":
+			rj.barrier = rec.Barrier
+		case string(StateDone), string(StateFailed), string(StateCanceled):
+			rj.state = State(rec.Type)
+			rj.errText = rec.Error
+		case "evict":
+			rj.evicted = true
+		default:
+			s.logWarn("recovery: unknown journal record type", "job", rec.Job, "type", rec.Type)
+		}
+		if n := idNumber(rec.Job); n > s.nextID {
+			s.nextID = n
+		}
+	}
+
+	var requeue []*Job
+	for _, id := range order {
+		rj := table[id]
+		if rj.evicted {
+			continue
+		}
+		j, err := newJob(rj.spec, &s.cfg)
+		if err != nil {
+			s.logWarn("recovery: dropping job with invalid spec", "job", id, "error", err)
+			continue
+		}
+		j.svc = s
+		j.ID = id
+		if key := rj.spec.IdempotencyKey; key != "" {
+			s.idem[key] = id
+		}
+		if rj.state.Terminal() {
+			j.state = rj.state
+			j.errText = rj.errText
+			j.cancel() // nothing will run; release the job context
+			if ff := s.loadResult(id); ff != nil {
+				j.restored = ff
+				for _, sol := range ff.Solutions {
+					pt := FrontPoint{Distance: sol.Distance, Vehicles: sol.Vehicles, Tardiness: sol.Tardiness}
+					pt.Feasible = pt.objectives().Feasible()
+					j.front = append(j.front, pt)
+				}
+			}
+			j.mu.Lock()
+			j.appendEventLocked("recovered", map[string]any{"job": id, "state": string(rj.state)})
+			j.mu.Unlock()
+			s.recovered++
+		} else {
+			// Queued or mid-run at the crash: back on the queue, resuming
+			// from the latest checkpoint that reached disk.
+			if rj.barrier > 0 {
+				j.resume = s.loadCheckpoint(id)
+			}
+			fields := map[string]any{"job": id}
+			if j.resume != nil {
+				fields["barrier"] = j.resume.Barrier
+			}
+			j.mu.Lock()
+			j.appendEventLocked("requeued", fields)
+			j.mu.Unlock()
+			requeue = append(requeue, j)
+			s.requeued++
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return requeue
+}
+
+// compactRecords renders the post-replay job table as a minimal journal:
+// one submit record per retained job plus its latest relevant transition.
+func (s *Service) compactRecords() []journalRecord {
+	var recs []journalRecord
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec := j.Spec
+		recs = append(recs, journalRecord{Type: "submit", Job: id, Spec: &spec})
+		switch {
+		case j.state.Terminal():
+			recs = append(recs, journalRecord{Type: string(j.state), Job: id, Error: j.errText})
+		case j.resume != nil:
+			recs = append(recs, journalRecord{Type: "ckpt", Job: id, Barrier: j.resume.Barrier})
+		}
+	}
+	return recs
+}
+
+// loadResult reads a job's persisted result file, nil when absent or
+// unreadable (the job then reports no result, like a canceled-while-queued
+// job).
+func (s *Service) loadResult(id string) *resultio.FrontFile {
+	f, err := os.Open(filepath.Join(s.jobDir(id), "result.json"))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	ff, err := resultio.Read(f)
+	if err != nil {
+		s.logWarn("recovery: unreadable result file", "job", id, "error", err)
+		return nil
+	}
+	return ff
+}
+
+// loadCheckpoint reads and decodes a job's latest checkpoint, nil when the
+// file is missing or damaged — the job then restarts from scratch, which
+// is always safe.
+func (s *Service) loadCheckpoint(id string) *core.Checkpoint {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "ckpt.json"))
+	if err != nil {
+		s.logWarn("recovery: missing checkpoint, restarting job from scratch", "job", id, "error", err)
+		return nil
+	}
+	ck, err := core.DecodeCheckpoint(data)
+	if err != nil {
+		s.logWarn("recovery: undecodable checkpoint, restarting job from scratch", "job", id, "error", err)
+		return nil
+	}
+	return ck
+}
+
+// jobDir is the per-job durable directory (checkpoints and results).
+func (s *Service) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+
+func (s *Service) logWarn(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(msg, args...)
+	}
+}
+
+// idNumber parses the numeric part of a service job id ("j000042" -> 42),
+// 0 when the id has another shape.
+func idNumber(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -16,14 +16,18 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deme"
+	"repro/internal/resultio"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +39,8 @@ var (
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 	// ErrNotFound: no such job id (HTTP 404).
 	ErrNotFound = errors.New("service: no such job")
+	// ErrStorage: the durable journal rejected a write (HTTP 500).
+	ErrStorage = errors.New("service: durable storage failure")
 )
 
 // Config parameterizes a Service. The zero value is usable: every field
@@ -62,6 +68,15 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429/503 responses.
 	// Default 1s.
 	RetryAfter time.Duration
+	// DataDir, when set, makes the service durable: submissions are
+	// journaled before they are acknowledged, running searches write
+	// periodic checkpoints, results are persisted, and Open recovers all
+	// of it after a crash or restart. Empty means in-memory only.
+	DataDir string
+	// CheckpointEvery is the search-snapshot interval in master
+	// iterations for durable jobs. Default DefaultCheckpointEvery when
+	// DataDir is set; ignored otherwise.
+	CheckpointEvery int
 	// Version is reported by GET /v1/healthz (see internal/buildinfo).
 	Version string
 	// Logger, when non-nil, receives job lifecycle log lines.
@@ -90,7 +105,19 @@ func (c *Config) applyDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.DataDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = DefaultCheckpointEvery
+	}
 }
+
+// DefaultCheckpointEvery is the snapshot interval durable services use
+// when Config.CheckpointEvery is unset. A snapshot costs a state capture
+// plus an encode+checksum+fsync, so the interval trades recovery
+// granularity against steady-state overhead; 500 master iterations keeps
+// the overhead under 2% (gated by BenchmarkRunCheckpointOff/On via
+// scripts/bench.sh → BENCH_checkpoint.json) while bounding lost work on a
+// crash to well under a second of search.
+const DefaultCheckpointEvery = 500
 
 // Service is the job-queue daemon. Create with New, expose with Handler,
 // stop with Drain (graceful) or Close (abort).
@@ -102,33 +129,39 @@ type Service struct {
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing and eviction
-	nextID   int
-	draining bool
-	busy     int
+	// jl is the write-ahead job journal, nil for in-memory services;
+	// torn counts unreadable records dropped while replaying it.
+	jl   *journal
+	torn int
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // submission order, for listing and eviction
+	idem      map[string]string
+	nextID    int
+	draining  bool
+	busy      int
+	recovered int
+	requeued  int
 }
 
-// New starts a Service with cfg's worker pool.
+// New starts an in-memory Service with cfg's worker pool. For a durable
+// service (cfg.DataDir set) use Open, which can fail on storage errors and
+// performs crash recovery; New panics if handed a durable configuration
+// whose storage is unusable.
 func New(cfg Config) *Service {
-	cfg.applyDefaults()
-	s := &Service{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		jobs:  make(map[string]*Job),
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
+	s, err := Open(cfg)
+	if err != nil {
+		panic("service.New: " + err.Error())
 	}
 	return s
 }
 
 // Submit validates and enqueues a job. Validation failures return the
 // underlying error (HTTP 400); a full queue returns ErrQueueFull and a
-// draining service ErrDraining.
+// draining service ErrDraining. A spec carrying an idempotency key the
+// service has already accepted returns the original job unchanged, so
+// clients retry submissions safely.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	j, err := newJob(spec, &s.cfg)
 	if err != nil {
@@ -142,30 +175,54 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		j.cancel()
 		return nil, ErrDraining
 	}
+	if key := spec.IdempotencyKey; key != "" {
+		if dup, ok := s.jobs[s.idem[key]]; ok {
+			s.mu.Unlock()
+			j.cancel()
+			return dup, nil
+		}
+	}
+	// Capacity pre-check: every queue send happens under s.mu (here and in
+	// Open's re-queue, before workers start), and workers only remove, so
+	// occupancy seen here can only shrink before the send below — which
+	// therefore cannot block. Checking before journaling means a rejected
+	// submission leaves no journal record behind.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("j%06d", s.nextID)
+	j.submitted = time.Now()
+	if s.jl != nil {
+		// Write-ahead: the job exists once its submit record is durable;
+		// only then is it acknowledged or runnable.
+		err := os.MkdirAll(s.jobDir(j.ID), 0o755)
+		if err == nil {
+			err = s.jl.append(journalRecord{Type: "submit", Job: j.ID, Spec: &spec})
+		}
+		if err != nil {
+			s.mu.Unlock()
+			j.cancel()
+			return nil, fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+	}
 	// Register the job completely before it becomes runnable: once the
 	// channel send succeeds a worker may dequeue it immediately, so the
 	// send must happen-after the ID/submitted writes, the "queued" event,
 	// and jobWG.Add — otherwise a fast job could observe half-built state
 	// or call jobWG.Done before the Add.
-	s.nextID++
-	j.ID = fmt.Sprintf("j%06d", s.nextID)
-	j.submitted = time.Now()
 	j.mu.Lock()
 	j.appendEventLocked("queued", map[string]any{"job": j.ID, "instance": j.instName, "algorithm": j.alg.String()})
 	j.mu.Unlock()
 	s.jobWG.Add(1)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.ID)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		s.jobWG.Done()
-		j.cancel()
-		return nil, ErrQueueFull
+	if key := spec.IdempotencyKey; key != "" {
+		s.idem[key] = j.ID
 	}
+	s.queue <- j
 	s.evictLocked()
 	s.mu.Unlock()
 	if s.cfg.Logger != nil {
@@ -190,7 +247,19 @@ func (s *Service) evictLocked() {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		if terminal > s.cfg.RetainJobs && s.jobs[id].State().Terminal() {
+			j := s.jobs[id]
 			delete(s.jobs, id)
+			if key := j.Spec.IdempotencyKey; key != "" && s.idem[key] == id {
+				delete(s.idem, key)
+			}
+			if s.jl != nil {
+				if err := s.jl.append(journalRecord{Type: "evict", Job: id}); err != nil {
+					s.logWarn("journal: evict record", "job", id, "error", err)
+				}
+				if err := os.RemoveAll(s.jobDir(id)); err != nil {
+					s.logWarn("evict: removing job dir", "job", id, "error", err)
+				}
+			}
 			terminal--
 			continue
 		}
@@ -268,7 +337,13 @@ func (s *Service) runJob(j *Job) {
 		s.mu.Unlock()
 	}()
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Info("job started", "job", j.ID)
+		s.cfg.Logger.Info("job started", "job", j.ID, "resume", j.resume != nil)
+	}
+	if s.jl != nil {
+		if err := s.jl.append(journalRecord{Type: "start", Job: j.ID}); err != nil {
+			s.logWarn("journal: start record", "job", j.ID, "error", err)
+		}
+		s.armCheckpoints(j)
 	}
 
 	// Expose the running job's instruments on /debug/vars; with several
@@ -288,12 +363,71 @@ func (s *Service) runJob(j *Job) {
 	} else {
 		rt = deme.NewSim(deme.Origin3800())
 	}
-	res, err := core.RunContext(ctx, j.alg, j.in, j.cfg, rt)
+	var res *core.Result
+	var err error
+	if j.resume != nil {
+		res, err = core.ResumeContext(ctx, j.resume, j.in, j.cfg, rt)
+	} else {
+		res, err = core.RunContext(ctx, j.alg, j.in, j.cfg, rt)
+	}
 	j.finish(res, err)
 	if s.cfg.Logger != nil {
 		st := j.Status()
 		s.cfg.Logger.Info("job finished", "job", j.ID, "state", string(st.State),
 			"evaluations", st.Evaluations, "front", len(st.Front))
+	}
+}
+
+// armCheckpoints wires a durable job's search to the on-disk checkpoint
+// file: each barrier snapshot is installed atomically at
+// jobs/<id>/ckpt.json and then pointed at by a journal record, so recovery
+// only ever resumes from a checkpoint that fully reached disk. Runs that
+// cannot be checkpointed deterministically — the combined variant, or an
+// in-run MaxSeconds budget (both rejected by the solver's own validation)
+// — simply run without snapshots and restart from scratch after a crash.
+func (s *Service) armCheckpoints(j *Job) {
+	if s.cfg.CheckpointEvery <= 0 || j.alg == core.Combined || j.cfg.MaxSeconds > 0 {
+		return
+	}
+	every := s.cfg.CheckpointEvery
+	if j.resume != nil {
+		// A resumed run must keep the interval it was cut at: the barrier
+		// cadence is part of the deterministic trajectory.
+		every = j.resume.Every
+	}
+	j.cfg.CheckpointEvery = every
+	path := filepath.Join(s.jobDir(j.ID), "ckpt.json")
+	j.cfg.CheckpointSink = func(ck *core.Checkpoint) error {
+		data, err := core.EncodeCheckpoint(ck)
+		if err != nil {
+			return err
+		}
+		if err := writeFileSync(path, data); err != nil {
+			return err
+		}
+		return s.jl.append(journalRecord{Type: "ckpt", Job: j.ID, Barrier: ck.Barrier})
+	}
+}
+
+// persistTerminal durably records a job's terminal transition: the result
+// file first (write-fsync-rename), then the journal record that marks it
+// authoritative. Called exactly once per job from terminalLocked, holding
+// j.mu but never s.mu; the journal serializes itself.
+func (s *Service) persistTerminal(j *Job, state State) {
+	if s.jl == nil {
+		return
+	}
+	if j.result != nil {
+		data, err := json.Marshal(resultio.FromResult(j.instName, j.result, true))
+		if err == nil {
+			err = writeFileSync(filepath.Join(s.jobDir(j.ID), "result.json"), data)
+		}
+		if err != nil {
+			s.logWarn("persisting result", "job", j.ID, "error", err)
+		}
+	}
+	if err := s.jl.append(journalRecord{Type: string(state), Job: j.ID, Error: j.errText}); err != nil {
+		s.logWarn("journal: terminal record", "job", j.ID, "state", string(state), "error", err)
 	}
 }
 
@@ -321,6 +455,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.workerWG.Wait()
+	if err := s.jl.Close(); err != nil {
+		s.logWarn("closing journal", "error", err)
+	}
 	return nil
 }
 
@@ -336,6 +473,9 @@ func (s *Service) Close() {
 	s.jobWG.Wait()
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.workerWG.Wait()
+	if err := s.jl.Close(); err != nil {
+		s.logWarn("closing journal", "error", err)
+	}
 }
 
 // Stats is the health snapshot reported by GET /v1/healthz.
@@ -351,6 +491,15 @@ type Stats struct {
 	QueueCap int `json:"queue_cap"`
 	// Jobs counts retained jobs by state.
 	Jobs map[State]int `json:"jobs"`
+	// Durable reports whether the service journals to a data directory.
+	Durable bool `json:"durable,omitempty"`
+	// Recovered and Requeued count jobs brought back by the last
+	// recovery: terminal jobs re-served from disk, and incomplete jobs
+	// put back on the queue. TornRecords counts journal records dropped
+	// as unreadable during that replay.
+	Recovered   int `json:"recovered,omitempty"`
+	Requeued    int `json:"requeued,omitempty"`
+	TornRecords int `json:"torn_records,omitempty"`
 }
 
 // Stats snapshots the service.
@@ -358,13 +507,17 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Status:   "ok",
-		Version:  s.cfg.Version,
-		Workers:  s.cfg.Workers,
-		Busy:     s.busy,
-		QueueLen: len(s.queue),
-		QueueCap: cap(s.queue),
-		Jobs:     make(map[State]int),
+		Status:      "ok",
+		Version:     s.cfg.Version,
+		Workers:     s.cfg.Workers,
+		Busy:        s.busy,
+		QueueLen:    len(s.queue),
+		QueueCap:    cap(s.queue),
+		Jobs:        make(map[State]int),
+		Durable:     s.jl != nil,
+		Recovered:   s.recovered,
+		Requeued:    s.requeued,
+		TornRecords: s.torn,
 	}
 	if s.draining {
 		st.Status = "draining"

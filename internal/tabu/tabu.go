@@ -65,6 +65,24 @@ func (l *List) trim() {
 	}
 }
 
+// Queue returns a copy of the remembered attributes, oldest first — the
+// serializable view of the list for checkpointing.
+func (l *List) Queue() []Attribute {
+	return append([]Attribute(nil), l.queue...)
+}
+
+// Restore replaces the list contents with the given attributes (oldest
+// first), rebuilding the multiset index. Entries beyond the tenure are
+// trimmed oldest-first, as if they had been Added in order.
+func (l *List) Restore(queue []Attribute) {
+	l.queue = append(l.queue[:0], queue...)
+	clear(l.counts)
+	for _, a := range l.queue {
+		l.counts[a]++
+	}
+	l.trim()
+}
+
 // Contains reports whether the attribute is currently tabu.
 func (l *List) Contains(a Attribute) bool { return l.counts[a] > 0 }
 

@@ -544,6 +544,59 @@ func (f *FaultStats) Malformed() {
 	f.MalformedMsgs.Inc()
 }
 
+// CheckpointStats instruments the durability layer: periodic search-state
+// snapshots taken by the checkpoint barriers of internal/core and the
+// resume/recovery paths that consume them. All methods are nil-safe, so a
+// disabled layer costs one branch per site.
+type CheckpointStats struct {
+	Snapshots   Counter      // checkpoints assembled and handed to the sink
+	SinkErrors  Counter      // sink rejections (the run continues regardless)
+	Skipped     Counter      // barriers abandoned with incomplete parts
+	Resumes     Counter      // runs restored from a checkpoint
+	BarrierSecs FloatCounter // modeled seconds spent quiescing at barriers
+}
+
+// Snapshot counts one checkpoint handed to the sink.
+func (c *CheckpointStats) Snapshot() {
+	if c == nil {
+		return
+	}
+	c.Snapshots.Inc()
+}
+
+// SinkError counts one checkpoint the sink failed to persist.
+func (c *CheckpointStats) SinkError() {
+	if c == nil {
+		return
+	}
+	c.SinkErrors.Inc()
+}
+
+// Skip counts one barrier abandoned because a process part was missing.
+func (c *CheckpointStats) Skip() {
+	if c == nil {
+		return
+	}
+	c.Skipped.Inc()
+}
+
+// Resumed counts one run restored from a checkpoint.
+func (c *CheckpointStats) Resumed() {
+	if c == nil {
+		return
+	}
+	c.Resumes.Inc()
+}
+
+// Barrier accounts the modeled time one process spent inside a
+// checkpoint barrier.
+func (c *CheckpointStats) Barrier(seconds float64) {
+	if c == nil {
+		return
+	}
+	c.BarrierSecs.Add(seconds)
+}
+
 // OpStats tracks one neighborhood operator's funnel: proposals drawn,
 // selections as the next current solution, and acceptances into the
 // archive.
@@ -628,6 +681,7 @@ type Telemetry struct {
 	Delta   DeltaStats
 	Splice  SpliceStats
 	Fault   FaultStats
+	Ckpt    CheckpointStats
 	Ops     OpTable
 
 	log    *slog.Logger
@@ -753,6 +807,14 @@ func (t *Telemetry) FaultGroup() *FaultStats {
 	return &t.Fault
 }
 
+// CheckpointGroup returns the durability instruments (nil when disabled).
+func (t *Telemetry) CheckpointGroup() *CheckpointStats {
+	if t == nil {
+		return nil
+	}
+	return &t.Ckpt
+}
+
 // Operators returns the per-operator funnel table (nil when disabled).
 func (t *Telemetry) Operators() *OpTable {
 	if t == nil {
@@ -834,6 +896,13 @@ func (t *Telemetry) Snapshot() map[string]any {
 			"peer_drops":       t.Fault.PeerDrops.Load(),
 			"degraded_iters":   t.Fault.DegradedIters.Load(),
 			"malformed_msgs":   t.Fault.MalformedMsgs.Load(),
+		},
+		"checkpoint": map[string]any{
+			"snapshots":       t.Ckpt.Snapshots.Load(),
+			"sink_errors":     t.Ckpt.SinkErrors.Load(),
+			"skipped":         t.Ckpt.Skipped.Load(),
+			"resumes":         t.Ckpt.Resumes.Load(),
+			"barrier_seconds": t.Ckpt.BarrierSecs.Load(),
 		},
 		"operators": t.Ops.Snapshot(),
 	}

@@ -8,6 +8,9 @@
 #   BENCH_service.json   — solver-service load generator: p50/p99 submit-to-
 #                          first-point latency and jobs/min with the queue
 #                          saturated (scripts/loadgen)
+#   BENCH_checkpoint.json — full sequential run with durable checkpointing
+#                          off vs on at the service's default snapshot
+#                          interval, and the relative overhead (<2% target)
 #   BENCH_history.jsonl  — timestamped archive of every prior BENCH_*.json,
 #                          appended before each file is overwritten
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
@@ -32,7 +35,7 @@ trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates200|BenchmarkNeighborhood200' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/operators/ | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkSearcherIteration' \
+go test -run '^$' -bench 'BenchmarkSearcherIteration|BenchmarkRunCheckpoint' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/core/ | tee -a "$TMP"
 
 archive BENCH_delta.json
@@ -76,6 +79,30 @@ awk '
     printf "}\n"
   }' "$TMP" > BENCH_telemetry.json
 echo "wrote BENCH_telemetry.json"
+
+# The checkpoint overhead report: a complete sequential run with durable
+# checkpointing off against the same run snapshotting at the service's
+# default interval (capture + encode + checksum; the disk write is the
+# service's, not the core's). The overhead target is <2%.
+archive BENCH_checkpoint.json
+awk '
+  /^BenchmarkRunCheckpointOff/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") offns = $(i-1); if ($i == "allocs/op") offa = $(i-1) }
+  }
+  /^BenchmarkRunCheckpointOn/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") onns = $(i-1); if ($i == "allocs/op") ona = $(i-1) }
+  }
+  END {
+    if (offns == "" || onns == "") { print "missing checkpoint benchmarks" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkRunCheckpoint (sequential, R1, N=100, 100k evals)\",\n"
+    printf "  \"off\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", offns, offa
+    printf "  \"on\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", onns, ona
+    printf "  \"checkpoint_every\": 500,\n"
+    printf "  \"overhead_pct\": %.2f\n", (onns - offns) / offns * 100
+    printf "}\n"
+  }' "$TMP" > BENCH_checkpoint.json
+echo "wrote BENCH_checkpoint.json"
 
 # The service load report: an in-process daemon on a 2-worker pool, driven
 # by more submitters than workers+queue so the queue saturates and 429
