@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs service-e2e recover-e2e chaos fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs bench-smoke service-e2e recover-e2e chaos fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -30,6 +30,17 @@ race:
 allocs:
 	$(GO) test -run 'TestDisabledZeroAlloc|TestEnabledZeroAlloc' -count 1 -v ./internal/telemetry/
 	$(GO) test -run 'TestSearcherIterationTelemetryAllocs' -count 1 -v ./internal/core/
+
+# bench-smoke is the candidate engine's fast perf gate: the zero-alloc
+# assertions on the sweep (full and granular) and the searcher's generate
+# path, plus one untimed pass over the 400-customer benchmarks so a broken
+# benchmark fails here rather than in a long scripts/bench.sh run.
+bench-smoke:
+	$(GO) test -run 'TestCandidatesZeroAlloc|TestGranularSweepDeterministic' -count 1 -v ./internal/operators/
+	$(GO) test -run 'TestGenerateZeroAlloc' -count 1 -v ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkCandidates400|BenchmarkNeighborhood400|BenchmarkCandidatesInto400|BenchmarkCandidatesGranular400' \
+	  -benchtime 1x ./internal/operators/
+	$(GO) test -run '^$$' -bench 'BenchmarkSearcherIteration' -benchtime 1x ./internal/core/
 
 # service-e2e runs the solver-service stack — job queue, HTTP/SSE API,
 # daemon signal handling, and the CLI client — under the race detector.
@@ -80,4 +91,4 @@ profile: build
 	  -cpuprofile profiles/cpu.prof -memprofile profiles/heap.prof
 	@echo "profiles written to profiles/{cpu.prof,heap.prof,run.jsonl}"
 
-verify: fmt build vet test race allocs
+verify: fmt build vet test race allocs bench-smoke

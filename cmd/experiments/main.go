@@ -29,7 +29,7 @@ func main() {
 		out      = flag.String("o", "figure1.csv", "Figure 1 CSV output path")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		combined = flag.Bool("combined", false, "also run the future-work combined variant (P >= 4 blocks)")
-		extra    = flag.String("extra", "", `extra experiment instead of the tables: "equal-time" (the paper's §IV remark) or "operators" (neighborhood ablation)`)
+		extra    = flag.String("extra", "", `extra experiment instead of the tables: "equal-time" (the paper's §IV remark), "operators" (neighborhood ablation) or "granular" (full vs k-nearest quality parity)`)
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof + expvar on this address while the experiments run (e.g. localhost:6060)")
 		logLevel = flag.String("log-level", "", "enable a structured slog progress stream on stderr: debug, info, warn or error")
 		version  = flag.Bool("version", false, "print the version and exit")
@@ -83,6 +83,12 @@ func runExtra(kind string, seed uint64) error {
 		return res.Render(os.Stdout)
 	case "operators":
 		res, err := exp.RunOperatorAblation(60, 6000, 3, seed)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
+	case "granular":
+		res, err := exp.RunGranularParity([]int{100, 200}, 60000, 50, 20, seed)
 		if err != nil {
 			return err
 		}

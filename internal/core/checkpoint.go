@@ -255,6 +255,12 @@ type configFingerprint struct {
 	DisableAspiration bool      `json:"disable_aspiration"`
 	SampleEvery       int       `json:"sample_every"`
 	Operators         []string  `json:"operators"`
+	// GranularK shapes the proposal distribution and therefore the
+	// trajectory; omitempty keeps digests of non-granular configs — and
+	// so all pre-granular checkpoints — unchanged. EvalWorkers is
+	// deliberately absent: the parallel evaluator is bit-identical to
+	// the serial path.
+	GranularK int `json:"granular_k,omitempty"`
 }
 
 // configDigest fingerprints the validated, search-shaping part of the
@@ -279,6 +285,7 @@ func configDigest(c *Config, alg Algorithm) string {
 		ShareBroadcast:    c.ShareBroadcast,
 		DisableAspiration: c.DisableAspiration,
 		SampleEvery:       c.SampleEvery,
+		GranularK:         c.GranularK,
 	}
 	for _, op := range c.Operators {
 		fp.Operators = append(fp.Operators, op.Name())

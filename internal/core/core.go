@@ -52,16 +52,16 @@ type workMsg struct {
 	cur   *solution.Solution
 	count int
 	iter  int
-	moves []operators.Move // non-nil: evaluate exactly these (synchronous)
-	lo    int              // offset of moves in the master's neighborhood
+	data  []operators.MoveData // non-nil: evaluate exactly these (synchronous)
+	lo    int                  // offset of data in the master's neighborhood
 }
 
 // resultMsg carries a chunk of evaluated work back to the master: full
 // candidates for the asynchronous variant, objectives-only spans (aligned
-// with the shipped move slice) for the synchronous one.
+// with the shipped move span) for the synchronous one.
 type resultMsg struct {
 	cands []cand
-	objs  []solution.Objectives // synchronous reply: objs[i] belongs to moves[lo+i]
+	objs  []solution.Objectives // synchronous reply: objs[i] belongs to data[lo+i]
 	lo    int
 	iter  int
 }

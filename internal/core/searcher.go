@@ -22,8 +22,8 @@ import (
 // materialized — via materialize — when the candidate is selected as the
 // next current solution or enters one of the memories.
 type cand struct {
-	move operators.Move      // nil only for pre-materialized test candidates
-	base *solution.Solution  // the solution move was proposed on
+	data operators.MoveData  // KindNone only for pre-materialized candidates
+	base *solution.Solution  // the solution the move was proposed on
 	obj  solution.Objectives // delta-evaluated objectives of the result
 	sol  *solution.Solution  // materialized lazily; nil until needed
 	attr tabu.Attribute
@@ -35,7 +35,7 @@ type cand struct {
 // use and caching the result.
 func (c *cand) materialize(in *vrptw.Instance) *solution.Solution {
 	if c.sol == nil {
-		c.sol = c.move.Apply(in, c.base)
+		c.sol = c.data.Apply(in, c.base)
 	}
 	return c.sol
 }
@@ -68,6 +68,19 @@ type searcher struct {
 	sampleOn   bool
 	samples    []QualitySample
 	lastSample int
+
+	// Reusable hot-path storage, all owned by this searcher: the
+	// generator's candidate buffer, the assembled candidate set, the
+	// incrementally-maintained non-dominated front over it, and the
+	// selection scratch lists. Aliasing rule: the slice generate returns
+	// is backed by cands and valid only until the next generate call —
+	// callers that carry candidates across iterations (the async master)
+	// copy them out.
+	buf        operators.CandidateBuffer
+	cands      []cand
+	nd         []int
+	allowed    []int
+	dominating []int
 
 	// Telemetry (all nil when disabled — every recording call below is a
 	// single branch then). tel is the whole layer for event emission, ts
@@ -108,20 +121,19 @@ func (s *searcher) failOutcome(err error) procOutcome {
 	return o
 }
 
-// evalSpan delta-evaluates an already-proposed move span of the current
-// solution into objs (len(objs) == len(moves)), charging the modeled
-// evaluation cost. The synchronous master uses it for its own chunk and to
-// re-evaluate chunks lost to dead workers; the result is bit-identical to
-// what the worker would have returned.
-func (s *searcher) evalSpan(p deme.Proc, moves []operators.Move, objs []solution.Objectives) {
-	if len(moves) == 0 {
+// evalDataSpan delta-evaluates an already-proposed flat move span of the
+// current solution into objs (len(objs) == len(data)), charging the
+// modeled evaluation cost. The synchronous master uses it for its own
+// chunk and to re-evaluate chunks lost to dead workers; the result is
+// bit-identical to what the worker would have returned.
+func (s *searcher) evalDataSpan(p deme.Proc, data []operators.MoveData, objs []solution.Objectives) {
+	if len(data) == 0 {
 		return
 	}
-	cs := s.gen.EvalMoves(s.cur, moves)
+	s.gen.EvalDataInto(s.cur, data, objs)
 	var cost float64
-	for i := range cs {
-		objs[i] = cs[i].Obj
-		cost += s.cfg.Cost.evalCost(s.in, int(cs[i].Obj.Vehicles))
+	for i := range objs {
+		cost += s.cfg.Cost.evalCost(s.in, int(objs[i].Vehicles))
 	}
 	p.Compute(cost)
 }
@@ -210,6 +222,11 @@ func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, ten
 	}
 	s.gen.DeltaStats = cfg.Telemetry.DeltaGroup()
 	s.gen.SpliceStats = cfg.Telemetry.SpliceGroup()
+	s.gen.Ops = s.ops
+	if cfg.GranularK > 0 {
+		s.gen.Granular = in.NeighborLists(cfg.GranularK)
+	}
+	s.gen.EvalWorkers = cfg.EvalWorkers
 	s.archive.SetStats(cfg.Telemetry.ArchiveGroup())
 	s.nondom.SetStats(cfg.Telemetry.NondomGroup())
 	return s
@@ -246,21 +263,29 @@ func (s *searcher) init(p deme.Proc) {
 
 // generate draws and delta-evaluates up to n neighbors of the current
 // solution, charging their modeled cost to p. The candidates carry
-// objectives only; no neighbor solution is materialized here.
+// objectives only; no neighbor solution is materialized here. The returned
+// slice is backed by the searcher's reusable storage and is valid only
+// until the next generate call.
 func (s *searcher) generate(p deme.Proc, n int) []cand {
-	cs := s.gen.Candidates(s.cur, s.r, n)
-	cands := make([]cand, len(cs))
+	s.gen.CandidatesInto(&s.buf, s.cur, s.r, n)
+	k := len(s.buf.Data)
+	if cap(s.cands) < k {
+		s.cands = make([]cand, k)
+	}
+	cands := s.cands[:k]
 	var cost float64
-	for i, c := range cs {
+	for i := range cands {
+		d := s.buf.Data[i]
+		obj := s.buf.Objs[i]
 		cands[i] = cand{
-			move: c.Move,
+			data: d,
 			base: s.cur,
-			obj:  c.Obj,
-			attr: c.Move.Attribute(),
-			op:   c.Move.Operator(),
+			obj:  obj,
+			attr: d.Attribute(),
+			op:   d.OperatorName(),
 			born: s.iter,
 		}
-		cost += s.cfg.Cost.evalCost(s.in, int(c.Obj.Vehicles))
+		cost += s.cfg.Cost.evalCost(s.in, int(obj.Vehicles))
 	}
 	// ops.Get is not inlinable; keep the disabled path free of the 200
 	// per-candidate calls by hoisting its nil check out of the loop.
@@ -270,8 +295,8 @@ func (s *searcher) generate(p deme.Proc, n int) []cand {
 		}
 	}
 	p.Compute(cost)
-	s.evals += len(cands)
-	s.ts.Evals(len(cands))
+	s.evals += k
+	s.ts.Evals(k)
 	return cands
 }
 
@@ -283,8 +308,16 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	p.Compute(s.cfg.Cost.OverheadPerNeighbor * float64(len(cands)))
 
 	// The candidate set's non-dominated indices feed both the selection
-	// and the M_nondom update; compute them once.
-	nd := nondomIndices(cands)
+	// and the M_nondom update. The front is folded incrementally into the
+	// searcher's reusable buffer — one pass over the candidates against
+	// the running front instead of the full O(n²) pairwise scan, and zero
+	// allocations in steady state. The result is index-identical to
+	// pareto.NondominatedIndices (duplicates kept, ascending order).
+	s.nd = s.nd[:0]
+	for i := range cands {
+		s.foldFront(cands, i)
+	}
+	nd := s.nd
 	sel := s.selectCand(cands, nd)
 	if s.rec != nil {
 		for i := range cands {
@@ -369,8 +402,32 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	return improved
 }
 
+// foldFront inserts candidate i into the running non-dominated front s.nd:
+// if any front member dominates it, the front is unchanged; otherwise front
+// members it dominates are compacted out and i is appended. Because front
+// members are mutually non-dominated, no removal can precede finding a
+// dominator (dominance is transitive), so the early return is safe — and
+// the final front equals pareto.NondominatedIndices over the whole set,
+// duplicates kept, indices ascending.
+func (s *searcher) foldFront(cands []cand, i int) {
+	obj := cands[i].obj
+	w := 0
+	for _, j := range s.nd {
+		if cands[j].obj.Dominates(obj) {
+			return // dominated; nothing before j can have been removed
+		}
+		if !obj.Dominates(cands[j].obj) {
+			s.nd[w] = j
+			w++
+		}
+	}
+	s.nd = append(s.nd[:w], i)
+}
+
 // nondomIndices returns the indices of the candidates whose objectives are
-// non-dominated within the set.
+// non-dominated within the set. The searcher's step folds the front
+// incrementally instead; this remains as the reference implementation for
+// tests and one-off callers.
 func nondomIndices(cands []cand) []int {
 	if len(cands) == 0 {
 		return nil
@@ -392,7 +449,7 @@ func (s *searcher) selectCand(cands []cand, nd []int) int {
 	if len(cands) == 0 {
 		return -1
 	}
-	allowed := make([]int, 0, len(nd))
+	allowed := s.allowed[:0]
 	for _, i := range nd {
 		aspires := !s.cfg.DisableAspiration && s.archive.WouldAccept(cands[i].obj)
 		if !s.tl.Contains(cands[i].attr) {
@@ -404,15 +461,17 @@ func (s *searcher) selectCand(cands []cand, nd []int) int {
 			s.ts.TabuReject()
 		}
 	}
+	s.allowed = allowed[:0]
 	if len(allowed) == 0 {
 		return -1
 	}
-	var dominating []int
+	dominating := s.dominating[:0]
 	for _, i := range allowed {
 		if cands[i].obj.Dominates(s.cur.Obj) {
 			dominating = append(dominating, i)
 		}
 	}
+	s.dominating = dominating[:0]
 	if len(dominating) > 0 {
 		return dominating[s.r.Intn(len(dominating))]
 	}

@@ -8,10 +8,16 @@ import (
 	"repro/internal/vrptw"
 )
 
-// benchSearcher builds a searcher on a 400-customer instance with the
+// benchGranularK is the granular-list size of the iteration benchmarks;
+// the same value the quality-parity experiment in EXPERIMENTS.md uses.
+const benchGranularK = 20
+
+// benchSearcherCfg builds a searcher on a 400-customer instance with the
 // paper's neighborhood size and an effectively unlimited budget. tel is
-// nil for the baseline (disabled telemetry) benchmarks.
-func benchSearcher(b *testing.B, tel *telemetry.Telemetry) (*searcher, *stubProc, int) {
+// nil for the baseline (disabled telemetry) benchmarks; granularK and
+// evalWorkers configure the candidate engine (0: full neighborhoods,
+// serial evaluation).
+func benchSearcherCfg(b *testing.B, tel *telemetry.Telemetry, granularK, evalWorkers int) (*searcher, *stubProc, int) {
 	b.Helper()
 	in, err := vrptw.Generate(vrptw.GenConfig{Class: vrptw.R1, N: 400, Seed: 1})
 	if err != nil {
@@ -20,6 +26,8 @@ func benchSearcher(b *testing.B, tel *telemetry.Telemetry) (*searcher, *stubProc
 	cfg := DefaultConfig()
 	cfg.MaxEvaluations = 1 << 60
 	cfg.Telemetry = tel
+	cfg.GranularK = granularK
+	cfg.EvalWorkers = evalWorkers
 	if err := cfg.validate(in, Sequential); err != nil {
 		b.Fatal(err)
 	}
@@ -29,11 +37,33 @@ func benchSearcher(b *testing.B, tel *telemetry.Telemetry) (*searcher, *stubProc
 	return s, p, cfg.NeighborhoodSize
 }
 
-// BenchmarkSearcherIteration measures one full generate+step iteration on
-// the delta-evaluation path: candidates carry objectives only and the
-// searcher materializes just the selected solution and the memory-bound
-// non-dominated entries.
+// benchSearcher is benchSearcherCfg with the default engine (full
+// neighborhoods, serial evaluation).
+func benchSearcher(b *testing.B, tel *telemetry.Telemetry) (*searcher, *stubProc, int) {
+	b.Helper()
+	return benchSearcherCfg(b, tel, 0, 0)
+}
+
+// BenchmarkSearcherIteration measures one full generate+step iteration of
+// the granular candidate engine — the ROADMAP's hot-path target
+// (<=150µs/op, <=10 allocs/op on 400 customers): granular proposals from
+// the sparse k-nearest graph, flat moves in reusable buffers, objectives-
+// only candidates, incremental non-dominated bookkeeping, and lazy
+// materialization of just the selected solution and the memory-bound
+// entries.
 func BenchmarkSearcherIteration(b *testing.B) {
+	s, p, size := benchSearcherCfg(b, nil, benchGranularK, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(p, s.generate(p, size))
+	}
+}
+
+// BenchmarkSearcherIterationFull is the same iteration with the paper's
+// full neighborhoods (no granular lists) — the before side of the granular
+// comparison in BENCH_granular.json.
+func BenchmarkSearcherIterationFull(b *testing.B) {
 	s, p, size := benchSearcher(b, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -42,13 +72,25 @@ func BenchmarkSearcherIteration(b *testing.B) {
 	}
 }
 
-// BenchmarkSearcherIterationTelemetry is the same iteration with every
+// BenchmarkSearcherIterationParallel is the granular iteration with the
+// opt-in goroutine-parallel neighborhood evaluator (Config.EvalWorkers=4),
+// bit-identical to the serial path.
+func BenchmarkSearcherIterationParallel(b *testing.B) {
+	s, p, size := benchSearcherCfg(b, nil, benchGranularK, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(p, s.generate(p, size))
+	}
+}
+
+// BenchmarkSearcherIterationTelemetry is the granular iteration with every
 // instrument recording: the pair gates the enabled-telemetry overhead
 // (scripts/bench.sh writes the comparison to BENCH_telemetry.json; the
 // disabled layer is additionally pinned to <2% and zero extra allocations
 // against BenchmarkSearcherIteration).
 func BenchmarkSearcherIterationTelemetry(b *testing.B) {
-	s, p, size := benchSearcher(b, telemetry.New(nil, nil))
+	s, p, size := benchSearcherCfg(b, telemetry.New(nil, nil), benchGranularK, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -68,10 +110,9 @@ func BenchmarkSearcherIterationMaterialized(b *testing.B) {
 		cands := make([]cand, len(nbh))
 		for j, nb := range nbh {
 			cands[j] = cand{
-				move: nb.Move,
 				base: s.cur,
 				obj:  nb.Sol.Obj,
-				sol:  nb.Sol,
+				sol:  nb.Sol, // pre-materialized; the flat move is not needed
 				attr: nb.Move.Attribute(),
 				op:   nb.Move.Operator(),
 				born: s.iter,

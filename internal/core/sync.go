@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/deme"
+	"repro/internal/operators"
 	"repro/internal/rng"
 	"repro/internal/solution"
 	"repro/internal/vrptw"
@@ -66,11 +67,12 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			fg.DegradedIteration()
 		}
 
-		moves := s.gen.Moves(s.cur, s.r, s.neighborhood)
-		n := len(moves)
+		s.gen.MovesInto(&s.buf, s.cur, s.r, s.neighborhood)
+		data := s.buf.Data
+		n := len(data)
 		if s.ops != nil {
-			for _, m := range moves {
-				s.ops.Get(m.Operator()).Propose()
+			for i := range data {
+				s.ops.Get(data[i].OperatorName()).Propose()
 			}
 		}
 		if cap(objs) < n {
@@ -80,18 +82,22 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 
 		// Even spans per worker; the master absorbs the remainder (all of
 		// it once every worker is gone — the sequential degradation).
+		// Dispatched spans are copied out of the reusable buffer: a
+		// stalled worker may still be reading its span when the master has
+		// recovered it locally, moved on, and overwritten the buffer.
 		per := n / (len(alive) + 1)
 		outstanding = outstanding[:0]
 		lo := 0
 		if per > 0 {
 			for _, w := range alive {
 				hi := lo + per
-				p.Send(w, tagWork, workMsg{cur: s.cur, moves: moves[lo:hi], lo: lo, iter: s.iter}, solBytes(in))
+				sendSpan := append([]operators.MoveData(nil), data[lo:hi]...)
+				p.Send(w, tagWork, workMsg{cur: s.cur, data: sendSpan, lo: lo, iter: s.iter}, solBytes(in))
 				outstanding = append(outstanding, span{w: w, lo: lo, hi: hi})
 				lo = hi
 			}
 		}
-		s.evalSpan(p, moves[lo:], objs[lo:])
+		s.evalDataSpan(p, data[lo:], objs[lo:])
 
 		for len(outstanding) > 0 {
 			m, ok := p.RecvTimeout(cfg.RecvTimeout)
@@ -102,7 +108,7 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 				for _, sp := range outstanding {
 					strikes[sp.w]++
 					fg.Redispatch()
-					s.evalSpan(p, moves[sp.lo:sp.hi], objs[sp.lo:sp.hi])
+					s.evalDataSpan(p, data[sp.lo:sp.hi], objs[sp.lo:sp.hi])
 					if strikes[sp.w] >= cfg.EvictAfter || !p.Alive(sp.w) {
 						evict(sp.w)
 					}
@@ -151,14 +157,18 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			// failed attempt so the budget still runs out (as sequential).
 			s.evals++
 		}
-		cands := make([]cand, n)
-		for i, m := range moves {
+		if cap(s.cands) < n {
+			s.cands = make([]cand, n)
+		}
+		cands := s.cands[:n]
+		for i := range data {
+			d := data[i]
 			cands[i] = cand{
-				move: m,
+				data: d,
 				base: s.cur,
 				obj:  objs[i],
-				attr: m.Attribute(),
-				op:   m.Operator(),
+				attr: d.Attribute(),
+				op:   d.OperatorName(),
 				born: s.iter,
 			}
 		}

@@ -30,8 +30,13 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 	gen := operators.NewGenerator(in, cfg.Operators)
 	gen.DeltaStats = cfg.Telemetry.DeltaGroup()
 	gen.SpliceStats = cfg.Telemetry.SpliceGroup()
-	ws := cfg.Telemetry.WorkerGroup()
 	ops := cfg.Telemetry.Operators()
+	gen.Ops = ops
+	if cfg.GranularK > 0 {
+		gen.Granular = in.NeighborLists(cfg.GranularK)
+	}
+	var buf operators.CandidateBuffer
+	ws := cfg.Telemetry.WorkerGroup()
 	fg := cfg.Telemetry.FaultGroup()
 	for {
 		if cfg.cancelled() {
@@ -79,14 +84,15 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 			fg.Malformed()
 			continue // the master guards its own payloads; drop garbage here
 		}
-		if w.moves != nil {
-			// Synchronous span: evaluate exactly the shipped moves.
-			cs := gen.EvalMoves(w.cur, w.moves)
-			objs := make([]solution.Objectives, len(cs))
+		if w.data != nil {
+			// Synchronous span: evaluate exactly the shipped moves. The
+			// reply's objectives slice is freshly allocated — it crosses
+			// the goroutine boundary.
+			objs := make([]solution.Objectives, len(w.data))
+			gen.EvalDataInto(w.cur, w.data, objs)
 			var cost float64
-			for i := range cs {
-				objs[i] = cs[i].Obj
-				cost += cfg.Cost.evalCost(in, int(cs[i].Obj.Vehicles))
+			for i := range objs {
+				cost += cfg.Cost.evalCost(in, int(objs[i].Vehicles))
 			}
 			p.Compute(cost)
 			p.Send(master, tagResult, resultMsg{objs: objs, lo: w.lo, iter: w.iter}, len(objs)*solBytes(in))
@@ -96,19 +102,20 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 		if cfg.checkpointing() {
 			r.Seed(chunkSeed(seed, w.iter))
 		}
-		cs := gen.Candidates(w.cur, r, w.count)
-		cands := make([]cand, len(cs))
+		gen.CandidatesInto(&buf, w.cur, r, w.count)
+		cands := make([]cand, len(buf.Data))
 		var cost float64
-		for i, c := range cs {
+		for i := range buf.Data {
+			d := buf.Data[i]
 			cands[i] = cand{
-				move: c.Move,
+				data: d,
 				base: w.cur,
-				obj:  c.Obj,
-				attr: c.Move.Attribute(),
-				op:   c.Move.Operator(),
+				obj:  buf.Objs[i],
+				attr: d.Attribute(),
+				op:   d.OperatorName(),
 				born: w.iter,
 			}
-			cost += cfg.Cost.evalCost(in, int(c.Obj.Vehicles))
+			cost += cfg.Cost.evalCost(in, int(buf.Objs[i].Vehicles))
 		}
 		if ops != nil {
 			for i := range cands {

@@ -52,6 +52,11 @@ type orOptNMove struct {
 
 // Propose implements Operator.
 func (o OrOptN) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (o OrOptN) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	for try := 0; try < proposeAttempts; try++ {
 		ri := r.Intn(len(s.Routes))
 		route := s.Routes[ri]
@@ -82,9 +87,9 @@ func (o OrOptN) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (
 		if !arcOK(in, c2, next) {
 			continue
 		}
-		return orOptNMove{route: ri, seg: seg, length: length, dst: dst, c1: c1, c2: c2}, true
+		return MoveData{Kind: KindOrOptN, A: int32(ri), B: int32(seg), C: int32(length), D: int32(dst), E: int32(c1), F: int32(c2)}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m orOptNMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
@@ -96,7 +101,7 @@ func (m orOptNMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.So
 }
 
 func (m orOptNMove) Attribute() tabu.Attribute { return attribute(tagOrOptN, m.c1, m.c2) }
-func (m orOptNMove) Operator() string          { return fmt.Sprintf("or-opt-%d", m.length) }
+func (m orOptNMove) Operator() string          { return orOptNName(m.length) }
 
 // RelocateNew moves one customer out of a multi-customer route into a
 // fresh route of its own. It is the inverse pressure to the paper's
@@ -114,9 +119,14 @@ type relocateNewMove struct {
 }
 
 // Propose implements Operator.
-func (RelocateNew) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o RelocateNew) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (RelocateNew) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	if len(s.Routes) >= in.Vehicles {
-		return nil, false // fleet exhausted
+		return MoveData{}, false // fleet exhausted
 	}
 	for try := 0; try < proposeAttempts; try++ {
 		from := r.Intn(len(s.Routes))
@@ -132,9 +142,9 @@ func (RelocateNew) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand
 		if !arcOK(in, 0, cust) {
 			continue
 		}
-		return relocateNewMove{from: from, fpos: fpos, cust: cust}, true
+		return MoveData{Kind: KindRelocateNew, A: int32(from), B: int32(fpos), C: int32(cust)}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m relocateNewMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
@@ -183,8 +193,13 @@ type crossExchangeMove struct {
 
 // Propose implements Operator.
 func (c CrossExchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(c, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (c CrossExchange) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	if len(s.Routes) < 2 {
-		return nil, false
+		return MoveData{}, false
 	}
 	for try := 0; try < proposeAttempts; try++ {
 		r1 := r.Intn(len(s.Routes))
@@ -212,9 +227,9 @@ func (c CrossExchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.
 		if !arcOK(in, before(b, p2), a[p1]) || !arcOK(in, a[p1+l1-1], after(b, p2+l2-1)) {
 			continue
 		}
-		return crossExchangeMove{r1: r1, p1: p1, l1: l1, r2: r2, p2: p2, l2: l2, a1: a[p1], a2: b[p2]}, true
+		return MoveData{Kind: KindCrossExchange, A: int32(r1), B: int32(p1), C: int32(l1), D: int32(r2), E: int32(p2), F: int32(l2), G: int32(a[p1]), H: int32(b[p2])}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func segLoad(in *vrptw.Instance, seg []int) float64 {

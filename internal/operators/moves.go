@@ -25,9 +25,14 @@ type relocateMove struct {
 }
 
 // Propose implements Operator.
-func (Relocate) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o Relocate) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (Relocate) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	if len(s.Routes) < 2 {
-		return nil, false
+		return MoveData{}, false
 	}
 	for try := 0; try < proposeAttempts; try++ {
 		from := r.Intn(len(s.Routes))
@@ -56,9 +61,9 @@ func (Relocate) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (
 		if !arcOK(in, cust, next) {
 			continue
 		}
-		return relocateMove{from: from, fpos: fpos, to: to, tpos: tpos, cust: cust}, true
+		return MoveData{Kind: KindRelocate, A: int32(from), B: int32(fpos), C: int32(to), D: int32(tpos), E: int32(cust)}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m relocateMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
@@ -85,9 +90,14 @@ type exchangeMove struct {
 }
 
 // Propose implements Operator.
-func (Exchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o Exchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (Exchange) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	if len(s.Routes) < 2 {
-		return nil, false
+		return MoveData{}, false
 	}
 	for try := 0; try < proposeAttempts; try++ {
 		r1 := r.Intn(len(s.Routes))
@@ -109,9 +119,9 @@ func (Exchange) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (
 		if !arcOK(in, before(b, p2), c1) || !arcOK(in, c1, after(b, p2)) {
 			continue
 		}
-		return exchangeMove{r1: r1, p1: p1, r2: r2, p2: p2, c1: c1, c2: c2}, true
+		return MoveData{Kind: KindExchange, A: int32(r1), B: int32(p1), C: int32(r2), D: int32(p2), E: int32(c1), F: int32(c2)}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m exchangeMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
@@ -143,7 +153,12 @@ type twoOptMove struct {
 }
 
 // Propose implements Operator.
-func (TwoOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o TwoOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (TwoOpt) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	for try := 0; try < proposeAttempts; try++ {
 		ri := r.Intn(len(s.Routes))
 		route := s.Routes[ri]
@@ -159,9 +174,9 @@ func (TwoOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Mo
 		if !arcOK(in, route[i], after(route, j)) {
 			continue
 		}
-		return twoOptMove{route: ri, i: i, j: j, ci: route[i], cj: route[j]}, true
+		return MoveData{Kind: KindTwoOpt, A: int32(ri), B: int32(i), C: int32(j), D: int32(route[i]), E: int32(route[j])}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m twoOptMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {
@@ -197,9 +212,14 @@ type twoOptStarMove struct {
 }
 
 // Propose implements Operator.
-func (TwoOptStar) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o TwoOptStar) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (TwoOptStar) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	if len(s.Routes) < 2 {
-		return nil, false
+		return MoveData{}, false
 	}
 	for try := 0; try < proposeAttempts; try++ {
 		r1 := r.Intn(len(s.Routes))
@@ -230,10 +250,9 @@ func (TwoOptStar) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand)
 		if !arcOK(in, before(a, p1), tail1head) || !arcOK(in, before(b, p2), tail2head) {
 			continue
 		}
-		m := twoOptStarMove{r1: r1, p1: p1, r2: r2, p2: p2, a1: before(a, p1), a2: before(b, p2)}
-		return m, true
+		return MoveData{Kind: KindTwoOptStar, A: int32(r1), B: int32(p1), C: int32(r2), D: int32(p2), E: int32(before(a, p1)), F: int32(before(b, p2))}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func prefixLoad(in *vrptw.Instance, route []int, p int) float64 {
@@ -275,7 +294,12 @@ type orOptMove struct {
 }
 
 // Propose implements Operator.
-func (OrOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+func (o OrOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	return boxed(o, in, s, r)
+}
+
+// ProposeData implements Operator.
+func (OrOpt) ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool) {
 	for try := 0; try < proposeAttempts; try++ {
 		ri := r.Intn(len(s.Routes))
 		route := s.Routes[ri]
@@ -309,9 +333,9 @@ func (OrOpt) Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Mov
 		if !arcOK(in, c2, next) {
 			continue
 		}
-		return orOptMove{route: ri, seg: seg, dst: dst, c1: c1, c2: c2}, true
+		return MoveData{Kind: KindOrOpt, A: int32(ri), B: int32(seg), C: int32(dst), D: int32(c1), E: int32(c2)}, true
 	}
-	return nil, false
+	return MoveData{}, false
 }
 
 func (m orOptMove) Apply(in *vrptw.Instance, s *solution.Solution) *solution.Solution {

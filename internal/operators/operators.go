@@ -13,6 +13,8 @@
 package operators
 
 import (
+	"sync"
+
 	"repro/internal/rng"
 	"repro/internal/solution"
 	"repro/internal/tabu"
@@ -49,6 +51,22 @@ type Operator interface {
 	// the local feasibility criterion. It reports failure when it finds
 	// none within its internal attempt budget.
 	Propose(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool)
+	// ProposeData is Propose in the flat encoding: the same proposal
+	// logic and random draws, returning the move as a MoveData instead of
+	// a boxed Move. The hot path uses it exclusively — it never heap-
+	// allocates.
+	ProposeData(in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (MoveData, bool)
+}
+
+// boxed adapts an operator's ProposeData to the Move-returning Propose
+// signature. Every operator's Propose is this one-liner, so the two paths
+// cannot drift apart.
+func boxed(o Operator, in *vrptw.Instance, s *solution.Solution, r *rng.Rand) (Move, bool) {
+	d, ok := o.ProposeData(in, s, r)
+	if !ok {
+		return nil, false
+	}
+	return d.Move(), true
 }
 
 // All returns fresh instances of the paper's five operators, in the order
@@ -59,6 +77,15 @@ func All() []Operator {
 
 // proposeAttempts bounds the internal retries of a single Propose call.
 const proposeAttempts = 30
+
+// granFallbackBudget is how many times per sweep each operator may fall
+// back to its dense proposal path after the granular path comes up empty.
+// Raising it admits more dense-path moves per sweep (an unbounded budget
+// turns the sweep dense again); measured over budgets 1, 2, 4 and
+// unbounded at equal evaluation budget, final quality differences stay
+// within seed noise, so the budget is set to the cheapest setting — one
+// fallback, after which further draws of the operator fail fast.
+const granFallbackBudget = 1
 
 // Neighbor pairs a move with the evaluated solution it produces.
 type Neighbor struct {
@@ -84,8 +111,25 @@ type Generator struct {
 	// (disabled, one branch per candidate).
 	DeltaStats  *telemetry.DeltaStats
 	SpliceStats *telemetry.SpliceStats
+	// Ops, when non-nil, receives the generation-side funnel telemetry:
+	// per-operator proposal exhaustions and granular-list fallbacks.
+	Ops *telemetry.OpTable
+	// Granular, when non-nil, switches MovesInto to the granular proposal
+	// paths: operators draw only moves whose key created arc lies in the
+	// sparse k-nearest graph, falling back to the full proposal path when
+	// the granular draw budget is exhausted.
+	Granular *vrptw.NeighborLists
+	// EvalWorkers, when > 1, shards EvalDataInto's delta evaluation over
+	// that many goroutines with a deterministic positional merge; the
+	// result is bit-identical to the serial path. Proposal stays serial
+	// (it shares the caller's random stream).
+	EvalWorkers int
 
 	lastEval *solution.Eval
+	names    []string           // static operator names, aligned with ops
+	gran     []granularProposer // granular paths, aligned with ops (nil entries: full only)
+	granFB   []uint8            // per-sweep fallback count; granular path memoized dead at the budget
+	parEvals []*solution.Eval   // per-worker schedule caches for EvalWorkers
 }
 
 // NewGenerator returns a Generator over the given operators (All() if ops
@@ -94,7 +138,15 @@ func NewGenerator(in *vrptw.Instance, ops []Operator) *Generator {
 	if ops == nil {
 		ops = All()
 	}
-	return &Generator{in: in, ops: ops}
+	g := &Generator{in: in, ops: ops}
+	g.names = make([]string, len(ops))
+	g.gran = make([]granularProposer, len(ops))
+	g.granFB = make([]uint8, len(ops))
+	for i, op := range ops {
+		g.names[i] = op.Name()
+		g.gran[i], _ = op.(granularProposer)
+	}
+	return g
 }
 
 // Neighborhood proposes up to size moves on s and applies each one,
@@ -164,8 +216,8 @@ func (g *Generator) eval(s *solution.Solution) *solution.Eval {
 	return g.lastEval
 }
 
-// Moves proposes up to size moves on s without applying them. The async
-// master–worker variant ships moves to workers and lets them evaluate.
+// Moves proposes up to size moves on s without applying them, boxed. The
+// ablation benchmarks and tests use it; the search drives MovesInto.
 func (g *Generator) Moves(s *solution.Solution, r *rng.Rand, size int) []Move {
 	budget := g.MaxFailures
 	if budget == 0 {
@@ -173,14 +225,168 @@ func (g *Generator) Moves(s *solution.Solution, r *rng.Rand, size int) []Move {
 	}
 	moves := make([]Move, 0, size)
 	for len(moves) < size && budget > 0 {
-		op := g.ops[r.Intn(len(g.ops))]
-		if m, ok := op.Propose(g.in, s, r); ok {
+		oi := r.Intn(len(g.ops))
+		if m, ok := g.ops[oi].Propose(g.in, s, r); ok {
 			moves = append(moves, m)
 		} else {
+			g.Ops.Get(g.names[oi]).Exhaust()
 			budget--
 		}
 	}
 	return moves
+}
+
+// CandidateBuffer holds the reusable storage of one candidate sweep: the
+// flat move list, the index-aligned delta objectives, and the position
+// index of the granular proposal paths. One buffer belongs to exactly one
+// caller (a searcher or a worker) and is overwritten by every
+// MovesInto/CandidatesInto call — after warm-up a full sweep runs at zero
+// heap allocations.
+type CandidateBuffer struct {
+	Data []MoveData
+	Objs []solution.Objectives
+	pos  PosIndex
+}
+
+// MovesInto proposes up to size moves on s into buf.Data (reusing its
+// storage), drawing from the granular paths when g.Granular is set. Failed
+// proposals consume the shared failure budget exactly as Moves; a granular
+// path that finds nothing within its attempt budget falls back to the full
+// path before the failure is charged, so granular search degrades — never
+// livelocks — on solutions whose sparse neighborhoods are exhausted. The
+// solution is fixed for the whole sweep, so each operator's fallbacks are
+// memoized: after granFallbackBudget fallbacks, further draws of the same
+// operator count as exhausted and the sweep redraws — keeping the
+// neighborhood granular (the point of the sparse graph) instead of
+// silently degrading to the dense proposal path.
+func (g *Generator) MovesInto(buf *CandidateBuffer, s *solution.Solution, r *rng.Rand, size int) {
+	budget := g.MaxFailures
+	if budget == 0 {
+		budget = 50 * size
+	}
+	buf.Data = buf.Data[:0]
+	granular := g.Granular != nil
+	if granular {
+		buf.pos.Reset(g.in, s)
+		for i := range g.granFB {
+			g.granFB[i] = 0
+		}
+	}
+	for len(buf.Data) < size && budget > 0 {
+		oi := r.Intn(len(g.ops))
+		var d MoveData
+		var ok bool
+		switch {
+		case granular && g.gran[oi] != nil && g.granFB[oi] < granFallbackBudget:
+			d, ok = g.gran[oi].proposeGranular(g.in, s, &buf.pos, g.Granular, r)
+			if !ok {
+				g.granFB[oi]++
+				g.Ops.Get(g.names[oi]).Fallback()
+				d, ok = g.ops[oi].ProposeData(g.in, s, r)
+			}
+		case granular && g.gran[oi] != nil:
+			// Memoized: the granular path already exhausted on this
+			// solution and the fallback budget is spent; fail the draw.
+		default:
+			d, ok = g.ops[oi].ProposeData(g.in, s, r)
+		}
+		if ok {
+			buf.Data = append(buf.Data, d)
+		} else {
+			g.Ops.Get(g.names[oi]).Exhaust()
+			budget--
+		}
+	}
+}
+
+// CandidatesInto is the hot-path candidate sweep: MovesInto followed by
+// EvalDataInto, entirely within buf's reusable storage.
+func (g *Generator) CandidatesInto(buf *CandidateBuffer, s *solution.Solution, r *rng.Rand, size int) {
+	g.MovesInto(buf, s, r, size)
+	n := len(buf.Data)
+	if cap(buf.Objs) < n {
+		buf.Objs = make([]solution.Objectives, n)
+	}
+	buf.Objs = buf.Objs[:n]
+	g.EvalDataInto(s, buf.Data, buf.Objs)
+}
+
+// EvalDataInto delta-evaluates an already-proposed flat move span against
+// s's schedule cache into objs (len(objs) == len(data)), falling back to
+// Apply per move when the delta declines. Evaluation is deterministic in
+// (s, data) and independent of EvalWorkers: the parallel path shards the
+// span positionally and every objective is written to its own index, so a
+// chunk evaluated anywhere — serially, on another worker count, or
+// re-evaluated after a fault — yields bit-identical objectives.
+func (g *Generator) EvalDataInto(s *solution.Solution, data []MoveData, objs []solution.Objectives) {
+	if len(data) == 0 {
+		return
+	}
+	if g.EvalWorkers > 1 && len(data) >= 2*g.EvalWorkers {
+		g.evalDataParallel(s, data, objs)
+		return
+	}
+	e := g.eval(s)
+	for i, d := range data {
+		obj, ok := d.Delta(g.in, s, e)
+		if !ok {
+			g.DeltaStats.Fallback()
+			obj = d.Apply(g.in, s).Obj
+		} else {
+			g.DeltaStats.Fast()
+		}
+		objs[i] = obj
+	}
+}
+
+// evalDataParallel is EvalDataInto's sharded path: contiguous chunks of
+// the span, one goroutine and one schedule cache per worker. Only the
+// delta arithmetic runs concurrently; DeltaStats/SpliceStats are atomic
+// and every result lands at its own index.
+func (g *Generator) evalDataParallel(s *solution.Solution, data []MoveData, objs []solution.Objectives) {
+	w := g.EvalWorkers
+	if w > len(data) {
+		w = len(data)
+	}
+	if cap(g.parEvals) < w {
+		pe := make([]*solution.Eval, w)
+		copy(pe, g.parEvals)
+		g.parEvals = pe
+	}
+	evals := g.parEvals[:w]
+	chunk := (len(data) + w - 1) / w
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			break
+		}
+		if evals[k] == nil {
+			evals[k] = solution.NewEval(g.in, s)
+		} else if evals[k].Solution() != s {
+			evals[k].Reset(g.in, s)
+		}
+		evals[k].Stats = g.SpliceStats
+		wg.Add(1)
+		go func(e *solution.Eval, data []MoveData, objs []solution.Objectives) {
+			defer wg.Done()
+			for i, d := range data {
+				obj, ok := d.Delta(g.in, s, e)
+				if !ok {
+					g.DeltaStats.Fallback()
+					obj = d.Apply(g.in, s).Obj
+				} else {
+					g.DeltaStats.Fast()
+				}
+				objs[i] = obj
+			}
+		}(evals[k], data[lo:hi], objs[lo:hi])
+	}
+	wg.Wait()
 }
 
 // arcOK is the paper's local feasibility test for a newly created arc

@@ -8,7 +8,6 @@ package pareto
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/solution"
@@ -21,6 +20,12 @@ type Archive struct {
 	capacity int
 	items    []*solution.Solution
 	stats    *telemetry.ArchiveStats
+	// Eviction scratch, reused so the accept path of a full archive —
+	// taken nearly every searcher iteration by the medium-term memory —
+	// stays allocation-free.
+	objScratch []solution.Objectives
+	dScratch   []float64
+	idxScratch []int
 }
 
 // SetStats attaches acceptance/rejection/eviction instrumentation. nil
@@ -88,7 +93,18 @@ func (a *Archive) Add(s *solution.Solution) bool {
 		return true
 	}
 	// Evict the most crowded member.
-	d := CrowdingDistances(objectives(a.items))
+	n := len(a.items)
+	if cap(a.objScratch) < n {
+		a.objScratch = make([]solution.Objectives, n)
+		a.dScratch = make([]float64, n)
+		a.idxScratch = make([]int, n)
+	}
+	objs := a.objScratch[:n]
+	for i, m := range a.items {
+		objs[i] = m.Obj
+	}
+	d := a.dScratch[:n]
+	crowdingInto(objs, d, a.idxScratch[:n])
 	victim := 0
 	for i := 1; i < len(d); i++ {
 		if d[i] < d[victim] {
@@ -152,14 +168,6 @@ func (a *Archive) TakeRandom(r *rng.Rand) *solution.Solution {
 // Clear removes all members.
 func (a *Archive) Clear() { a.items = a.items[:0] }
 
-func objectives(items []*solution.Solution) []solution.Objectives {
-	objs := make([]solution.Objectives, len(items))
-	for i, s := range items {
-		objs[i] = s.Obj
-	}
-	return objs
-}
-
 // CrowdingDistances computes the NSGA-II crowding distance of every
 // objective vector: boundary points per objective get +Inf, interior
 // points accumulate the normalized gap between their neighbors. Larger
@@ -167,19 +175,50 @@ func objectives(items []*solution.Solution) []solution.Objectives {
 func CrowdingDistances(objs []solution.Objectives) []float64 {
 	n := len(objs)
 	d := make([]float64, n)
+	crowdingInto(objs, d, make([]int, n))
+	return d
+}
+
+// crowdingInto is CrowdingDistances with caller-owned storage: d receives
+// the distances and idx is sort scratch (both len(objs)). The per-
+// objective ordering uses a stable insertion sort — archive sizes are
+// tens of elements, and avoiding sort.Slice keeps the hot eviction path
+// free of the reflect-based swapper allocation.
+func crowdingInto(objs []solution.Objectives, d []float64, idx []int) {
+	n := len(objs)
 	if n <= 2 {
 		for i := range d {
 			d[i] = math.Inf(1)
 		}
-		return d
+		return
 	}
-	idx := make([]int, n)
+	for i := range d {
+		d[i] = 0
+	}
 	for m := 0; m < 3; m++ {
 		for i := range idx {
 			idx[i] = i
 		}
-		val := func(i int) float64 { return objs[i].Values()[m] }
-		sort.Slice(idx, func(a, b int) bool { return val(idx[a]) < val(idx[b]) })
+		val := func(i int) float64 {
+			switch m {
+			case 0:
+				return objs[i].Distance
+			case 1:
+				return objs[i].Vehicles
+			default:
+				return objs[i].Tardiness
+			}
+		}
+		for a := 1; a < n; a++ {
+			x := idx[a]
+			vx := val(x)
+			b := a - 1
+			for b >= 0 && val(idx[b]) > vx {
+				idx[b+1] = idx[b]
+				b--
+			}
+			idx[b+1] = x
+		}
 		lo, hi := val(idx[0]), val(idx[n-1])
 		d[idx[0]] = math.Inf(1)
 		d[idx[n-1]] = math.Inf(1)
@@ -190,7 +229,6 @@ func CrowdingDistances(objs []solution.Objectives) []float64 {
 			d[idx[k]] += (val(idx[k+1]) - val(idx[k-1])) / (hi - lo)
 		}
 	}
-	return d
 }
 
 // NondominatedIndices returns the indices of the objective vectors not

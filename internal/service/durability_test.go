@@ -164,6 +164,12 @@ func TestDurableRestartServesResults(t *testing.T) {
 func copyTree(t *testing.T, src, dst string) {
 	t.Helper()
 	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if os.IsNotExist(err) {
+			// The service is still running: an in-flight *.tmp can vanish
+			// between readdir and stat. A kill -9 snapshot would not have
+			// carried the un-fsynced temp file either, so skip it.
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -176,6 +182,9 @@ func copyTree(t *testing.T, src, dst string) {
 			return os.MkdirAll(target, 0o755)
 		}
 		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			return nil // same race, lost between stat and read
+		}
 		if err != nil {
 			return err
 		}

@@ -80,6 +80,11 @@ type JobSpec struct {
 	Nondom       int `json:"nondom,omitempty"`
 	RestartIters int `json:"restart_iters,omitempty"`
 	Islands      int `json:"islands,omitempty"`
+	// GranularK switches the searchers to granular neighborhoods drawn
+	// from the k-nearest arc graph; EvalWorkers shards candidate delta
+	// evaluation over that many goroutines (bit-identical to serial).
+	GranularK   int `json:"granular_k,omitempty"`
+	EvalWorkers int `json:"eval_workers,omitempty"`
 	// Backend selects the runtime: "sim" (deterministic machine
 	// simulator, the default) or "goroutine" (real concurrency).
 	Backend string `json:"backend,omitempty"`
@@ -252,6 +257,8 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 		cfg.RestartIterations = spec.RestartIters
 	}
 	cfg.Islands = spec.Islands
+	cfg.GranularK = spec.GranularK
+	cfg.EvalWorkers = spec.EvalWorkers
 	cfg.SampleEvery = spec.SampleEvery
 
 	switch spec.Backend {

@@ -177,9 +177,13 @@ func (s *Solution) WithRoutes(in *vrptw.Instance, idx []int, repl [][]int) *Solu
 	}
 	n := len(s.Routes)
 	routes := make([][]int, n)
-	dist := make([]float64, n)
-	tard := make([]float64, n)
-	load := make([]float64, n)
+	// One backing array for all three metric slices: WithRoutes is the
+	// solution-materialization hot path, and the searcher's alloc budget
+	// (<=10/iteration) counts every make here.
+	flat := make([]float64, 3*n)
+	dist := flat[0*n : 1*n : 1*n]
+	tard := flat[1*n : 2*n : 2*n]
+	load := flat[2*n : 3*n : 3*n]
 	copy(routes, s.Routes)
 	copy(dist, s.Dist)
 	copy(tard, s.Tard)

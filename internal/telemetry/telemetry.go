@@ -599,11 +599,15 @@ func (c *CheckpointStats) Barrier(seconds float64) {
 
 // OpStats tracks one neighborhood operator's funnel: proposals drawn,
 // selections as the next current solution, and acceptances into the
-// archive.
+// archive, plus two generation-side failure counters: Propose calls that
+// exhausted their attempt budget without finding a feasible move, and
+// granular proposals that fell back to the full-neighborhood path.
 type OpStats struct {
-	Proposed Counter
-	Selected Counter
-	Accepted Counter
+	Proposed  Counter
+	Selected  Counter
+	Accepted  Counter
+	Exhausted Counter // Propose returned no move within its attempt budget
+	Fallbacks Counter // granular draw failed; full proposal path used instead
 }
 
 // Propose counts one proposal.
@@ -628,6 +632,22 @@ func (o *OpStats) Accept() {
 		return
 	}
 	o.Accepted.Inc()
+}
+
+// Exhaust counts one proposal-budget exhaustion.
+func (o *OpStats) Exhaust() {
+	if o == nil {
+		return
+	}
+	o.Exhausted.Inc()
+}
+
+// Fallback counts one granular-list fallback to the full proposal path.
+func (o *OpStats) Fallback() {
+	if o == nil {
+		return
+	}
+	o.Fallbacks.Inc()
 }
 
 // OpTable maps operator names to their OpStats, lock-free on the hit path.
@@ -656,7 +676,13 @@ func (t *OpTable) Snapshot() map[string]map[string]any {
 	t.m.Range(func(k, v any) bool {
 		o := v.(*OpStats)
 		p, s, a := o.Proposed.Load(), o.Selected.Load(), o.Accepted.Load()
-		e := map[string]any{"proposed": p, "selected": s, "accepted": a}
+		e := map[string]any{
+			"proposed":           p,
+			"selected":           s,
+			"accepted":           a,
+			"exhausted":          o.Exhausted.Load(),
+			"granular_fallbacks": o.Fallbacks.Load(),
+		}
 		if p > 0 {
 			e["select_rate"] = float64(s) / float64(p)
 			e["accept_rate"] = float64(a) / float64(p)

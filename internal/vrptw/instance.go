@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Site describes the depot (index 0) or a customer (indices 1..N).
@@ -39,6 +40,10 @@ type Instance struct {
 
 	dist        []float64 // row-major (N+1)×(N+1) Euclidean distance matrix
 	departReady []float64 // a_i + c_i per site: earliest possible departure
+
+	// Lazily-built granular neighbor lists, cached per k (neighbors.go).
+	nbrMu sync.Mutex
+	nbrs  map[int]*NeighborLists
 }
 
 // New builds an Instance from the given sites, validates it, and

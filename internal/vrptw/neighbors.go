@@ -1,0 +1,88 @@
+package vrptw
+
+import "sort"
+
+// NeighborLists is the sparse granular-neighborhood graph of an instance:
+// for every site i (the depot included) the up-to-K most promising
+// successors j, sorted best-first. An arc i -> j is admitted only when it
+// passes the operators' local time-window test — departing i as early as
+// possible still reaches j by its due date — and candidates are ranked by
+// travel distance plus the unavoidable waiting time at j, so the lists mix
+// spatial closeness with time-window compatibility. Granular tabu search
+// draws its moves from these arcs only, shrinking the effective
+// neighborhood from O(N²) to O(K·N) without losing the arcs good solutions
+// are made of (Toth & Vigo's granular neighborhoods).
+//
+// Lists are immutable after construction and safe for concurrent readers.
+type NeighborLists struct {
+	K     int
+	lists [][]int32
+}
+
+// Of returns the neighbor list of site i, best-first. The slice is shared
+// and must not be modified.
+func (nl *NeighborLists) Of(i int) []int32 { return nl.lists[i] }
+
+// NeighborLists returns the instance's granular arc lists for the given k,
+// building them on first use and caching per k. Safe for concurrent use:
+// the goroutine backend's searchers share one Instance.
+func (in *Instance) NeighborLists(k int) *NeighborLists {
+	if k < 1 {
+		panic("vrptw: NeighborLists needs k >= 1")
+	}
+	in.nbrMu.Lock()
+	defer in.nbrMu.Unlock()
+	if nl, ok := in.nbrs[k]; ok {
+		return nl
+	}
+	nl := in.buildNeighborLists(k)
+	if in.nbrs == nil {
+		in.nbrs = map[int]*NeighborLists{}
+	}
+	in.nbrs[k] = nl
+	return nl
+}
+
+func (in *Instance) buildNeighborLists(k int) *NeighborLists {
+	n := len(in.Sites)
+	nl := &NeighborLists{K: k, lists: make([][]int32, n)}
+	type scored struct {
+		j     int32
+		score float64
+	}
+	cand := make([]scored, 0, n)
+	for i := 0; i < n; i++ {
+		cand = cand[:0]
+		for j := 1; j < n; j++ {
+			if j == i {
+				continue
+			}
+			arrive := in.DepartReady(i) + in.Dist(i, j)
+			if arrive > in.Sites[j].Due {
+				continue // the arc can never be served on time
+			}
+			wait := in.Sites[j].Ready - arrive
+			if wait < 0 {
+				wait = 0
+			}
+			cand = append(cand, scored{j: int32(j), score: in.Dist(i, j) + wait})
+		}
+		// Deterministic order: score, then index on ties.
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].score != cand[b].score {
+				return cand[a].score < cand[b].score
+			}
+			return cand[a].j < cand[b].j
+		})
+		m := k
+		if m > len(cand) {
+			m = len(cand)
+		}
+		list := make([]int32, m)
+		for x := 0; x < m; x++ {
+			list[x] = cand[x].j
+		}
+		nl.lists[i] = list
+	}
+	return nl
+}

@@ -1,0 +1,85 @@
+package vrptw
+
+import "testing"
+
+func TestNeighborLists(t *testing.T) {
+	in, err := Generate(GenConfig{Class: R1, N: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	nl := in.NeighborLists(k)
+	if nl.K != k {
+		t.Fatalf("K: got %d, want %d", nl.K, k)
+	}
+	score := func(i, j int) float64 {
+		arrive := in.DepartReady(i) + in.Dist(i, j)
+		wait := in.Sites[j].Ready - arrive
+		if wait < 0 {
+			wait = 0
+		}
+		return in.Dist(i, j) + wait
+	}
+	for i := 0; i <= in.N(); i++ {
+		list := nl.Of(i)
+		if len(list) > k {
+			t.Fatalf("site %d: list length %d exceeds k=%d", i, len(list), k)
+		}
+		admissible := 0
+		for j := 1; j <= in.N(); j++ {
+			if j != i && in.DepartReady(i)+in.Dist(i, j) <= in.Sites[j].Due {
+				admissible++
+			}
+		}
+		want := k
+		if admissible < k {
+			want = admissible
+		}
+		if len(list) != want {
+			t.Fatalf("site %d: list length %d, want min(k, admissible)=%d", i, len(list), want)
+		}
+		for x, j := range list {
+			if int(j) == i || j < 1 || int(j) > in.N() {
+				t.Fatalf("site %d: invalid neighbor %d", i, j)
+			}
+			if arrive := in.DepartReady(i) + in.Dist(i, int(j)); arrive > in.Sites[j].Due {
+				t.Fatalf("site %d: neighbor %d misses its due date (arrive %v > due %v)",
+					i, j, arrive, in.Sites[j].Due)
+			}
+			if x > 0 {
+				p := int(list[x-1])
+				sp, sj := score(i, p), score(i, int(j))
+				if sp > sj || (sp == sj && p > int(j)) {
+					t.Fatalf("site %d: list not sorted by (score, index) at %d: %d then %d", i, x-1, p, j)
+				}
+			}
+		}
+		// Every admissible non-member must score no better than the worst
+		// member — the list holds the k best arcs, not just k valid ones.
+		if len(list) == k && admissible > k {
+			worst := score(i, int(list[k-1]))
+			member := map[int32]bool{}
+			for _, j := range list {
+				member[j] = true
+			}
+			for j := 1; j <= in.N(); j++ {
+				if j == i || member[int32(j)] {
+					continue
+				}
+				if in.DepartReady(i)+in.Dist(i, j) > in.Sites[j].Due {
+					continue
+				}
+				if score(i, j) < worst {
+					t.Fatalf("site %d: non-member %d scores %v, better than worst member %v",
+						i, j, score(i, j), worst)
+				}
+			}
+		}
+	}
+	if nl2 := in.NeighborLists(k); nl2 != nl {
+		t.Fatal("NeighborLists not cached per k")
+	}
+	if nl3 := in.NeighborLists(k + 1); nl3 == nl {
+		t.Fatal("different k returned the same lists")
+	}
+}

@@ -11,8 +11,16 @@
 #   BENCH_checkpoint.json — full sequential run with durable checkpointing
 #                          off vs on at the service's default snapshot
 #                          interval, and the relative overhead (<2% target)
+#   BENCH_granular.json  — granular vs full searcher iteration on the
+#                          400-customer instance (k=20, neighborhood 200),
+#                          the parallel-eval variant, and the raw candidate
+#                          sweeps; the tracked target is <=150µs and <=10
+#                          allocs per granular iteration
 #   BENCH_history.jsonl  — timestamped archive of every prior BENCH_*.json,
 #                          appended before each file is overwritten
+# After writing, scripts/benchgate diffs BENCH_delta.json and
+# BENCH_granular.json against their latest BENCH_history.jsonl entries and
+# fails the run on a >15% ns/op or allocs/op regression.
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
 # LOADGEN_JOBS overrides the load-generator job count (default 24).
 set -euo pipefail
@@ -33,7 +41,7 @@ archive() {
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates200|BenchmarkNeighborhood200' \
+go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates|BenchmarkNeighborhood' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/operators/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkSearcherIteration|BenchmarkRunCheckpoint' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/core/ | tee -a "$TMP"
@@ -104,6 +112,45 @@ awk '
   }' "$TMP" > BENCH_checkpoint.json
 echo "wrote BENCH_checkpoint.json"
 
+# The granular engine report: the headline granular searcher iteration
+# against the full-neighborhood baseline and the opt-in parallel evaluator,
+# plus the raw 400-customer candidate sweeps (reused-buffer, both modes).
+archive BENCH_granular.json
+awk '
+  /^BenchmarkSearcherIteration-|^BenchmarkSearcherIteration / {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") gns = $(i-1); if ($i == "allocs/op") ga = $(i-1) }
+  }
+  /^BenchmarkSearcherIterationFull/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") fns = $(i-1); if ($i == "allocs/op") fa = $(i-1) }
+  }
+  /^BenchmarkSearcherIterationParallel/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") pns = $(i-1); if ($i == "allocs/op") pa = $(i-1) }
+  }
+  /^BenchmarkCandidatesInto400/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") cfns = $(i-1); if ($i == "allocs/op") cfa = $(i-1) }
+  }
+  /^BenchmarkCandidatesGranular400/ {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") cgns = $(i-1); if ($i == "allocs/op") cga = $(i-1) }
+  }
+  END {
+    if (gns == "" || fns == "") { print "missing granular/full searcher benchmarks" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSearcherIteration (R1, N=400, neighborhood 200, k=20)\",\n"
+    printf "  \"granular\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", gns, ga
+    printf "  \"full\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", fns, fa
+    if (pns != "")
+      printf "  \"parallel_eval4\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", pns, pa
+    if (cfns != "")
+      printf "  \"sweep_full_400\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", cfns, cfa
+    if (cgns != "")
+      printf "  \"sweep_granular_400\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", cgns, cga
+    printf "  \"speedup\": %.2f,\n", fns / gns
+    printf "  \"target\": {\"max_ns_per_op\": 150000, \"max_allocs_per_op\": 10},\n"
+    printf "  \"within_target\": %s\n", (gns + 0 <= 150000 && ga + 0 <= 10) ? "true" : "false"
+    printf "}\n"
+  }' "$TMP" > BENCH_granular.json
+echo "wrote BENCH_granular.json"
+
 # The service load report: an in-process daemon on a 2-worker pool, driven
 # by more submitters than workers+queue so the queue saturates and 429
 # backpressure engages.
@@ -111,3 +158,7 @@ archive BENCH_service.json
 go run ./scripts/loadgen -jobs "${LOADGEN_JOBS:-24}" -workers 2 -queue 4 -concurrency 8 \
   > BENCH_service.json
 echo "wrote BENCH_service.json"
+
+# Regression gate: fail the run when this run regressed >15% against the
+# numbers archived from the previous one.
+go run ./scripts/benchgate BENCH_delta.json BENCH_granular.json

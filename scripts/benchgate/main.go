@@ -1,0 +1,197 @@
+// Command benchgate compares the current BENCH_*.json files against the
+// most recent matching entry in BENCH_history.jsonl and exits nonzero when
+// a benchmark regressed: >15% more ns/op, or >15% more allocs/op when that
+// is also more than two extra allocations (small counts jitter by one).
+//
+//	go run ./scripts/benchgate                # gates the default files
+//	go run ./scripts/benchgate BENCH_delta.json BENCH_granular.json
+//
+// A file with no history entry passes — the first recorded run becomes the
+// baseline for the next. The gate reads the history that scripts/bench.sh
+// appends before overwriting each file, so "latest matching entry" is
+// always the previous run's numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+const (
+	historyPath = "BENCH_history.jsonl"
+	nsSlack     = 1.15 // >15% slower ns/op is a regression
+	allocSlack  = 1.15 // >15% more allocs/op ...
+	allocFloor  = 2    // ... and more than two extra allocations
+)
+
+type metric struct {
+	ns     float64
+	allocs float64
+}
+
+type historyEntry struct {
+	ArchivedAt string          `json:"archived_at"`
+	File       string          `json:"file"`
+	Results    json.RawMessage `json:"results"`
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"BENCH_delta.json", "BENCH_granular.json"}
+	}
+	baselines, err := loadBaselines(historyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	regressed := false
+	for _, f := range files {
+		cur, err := loadMetrics(f)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Printf("benchgate: %s: not present, skipped\n", f)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		old, ok := baselines[f]
+		if !ok {
+			fmt.Printf("benchgate: %s: no history baseline, pass (this run becomes the baseline)\n", f)
+			continue
+		}
+		if gate(f, cur, old) {
+			regressed = true
+		}
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — regression against the previous recorded run")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+// loadBaselines returns, per file name, the metrics of its most recent
+// history entry. Lines that fail to parse are skipped: the history is
+// append-only across versions of bench.sh and older formats must not brick
+// the gate.
+func loadBaselines(path string) (map[string]map[string]metric, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]map[string]metric{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]map[string]metric{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e historyEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.File == "" {
+			continue
+		}
+		m := map[string]metric{}
+		var v any
+		if err := json.Unmarshal(e.Results, &v); err != nil {
+			continue
+		}
+		collect("", v, m)
+		if len(m) > 0 {
+			out[e.File] = m // later lines overwrite: latest entry wins
+		}
+	}
+	return out, sc.Err()
+}
+
+func loadMetrics(path string) (map[string]metric, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := map[string]metric{}
+	collect("", v, m)
+	return m, nil
+}
+
+// collect walks any BENCH_*.json shape and records every object carrying
+// an ns_per_op as a named metric: array elements are keyed by their "name"
+// field, nested objects by their key path.
+func collect(prefix string, v any, out map[string]metric) {
+	switch t := v.(type) {
+	case map[string]any:
+		if ns, ok := t["ns_per_op"].(float64); ok {
+			m := metric{ns: ns}
+			if a, ok := t["allocs_per_op"].(float64); ok {
+				m.allocs = a
+			}
+			name := prefix
+			if name == "" {
+				// Array elements arrive with their "name" already in the
+				// prefix; only a bare top-level object needs it here.
+				name, _ = t["name"].(string)
+			}
+			out[name] = m
+			return
+		}
+		for k, c := range t {
+			collect(join(prefix, k), c, out)
+		}
+	case []any:
+		for i, c := range t {
+			p := fmt.Sprintf("%s[%d]", prefix, i)
+			if m, ok := c.(map[string]any); ok {
+				if s, ok := m["name"].(string); ok {
+					p = join(prefix, s)
+				}
+			}
+			collect(p, c, out)
+		}
+	}
+}
+
+func join(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "/" + k
+}
+
+// gate prints one line per comparable metric and reports whether any
+// regressed against its baseline.
+func gate(file string, cur, old map[string]metric) bool {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		if _, ok := old[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("benchgate: %s: no overlapping metrics with baseline, pass\n", file)
+		return false
+	}
+	bad := false
+	for _, n := range names {
+		c, o := cur[n], old[n]
+		slower := o.ns > 0 && c.ns > o.ns*nsSlack
+		fatter := c.allocs > o.allocs*allocSlack && c.allocs > o.allocs+allocFloor
+		status := "ok"
+		if slower || fatter {
+			status = "REGRESSED"
+			bad = true
+		}
+		fmt.Printf("benchgate: %s: %-40s %12.0f ns/op (was %.0f)  %5.1f allocs (was %.1f)  %s\n",
+			file, n, c.ns, o.ns, c.allocs, o.allocs, status)
+	}
+	return bad
+}
