@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs bench-smoke service-e2e recover-e2e chaos fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e chaos fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -24,12 +24,14 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/deme/...
 
-# allocs asserts the telemetry overhead contract: disabled-path recording
-# calls allocate nothing, and a full searcher iteration allocates no more
-# with the instruments enabled than with the layer off.
+# allocs asserts the observability overhead contract: disabled-path
+# telemetry and tracing calls allocate nothing, and a full searcher
+# iteration allocates no more with the instruments (or a live trace span)
+# than with the layers off.
 allocs:
 	$(GO) test -run 'TestDisabledZeroAlloc|TestEnabledZeroAlloc' -count 1 -v ./internal/telemetry/
-	$(GO) test -run 'TestSearcherIterationTelemetryAllocs' -count 1 -v ./internal/core/
+	$(GO) test -run 'TestDisabledZeroAlloc' -count 1 -v ./internal/trace/
+	$(GO) test -run 'TestSearcherIterationTelemetryAllocs|TestSearcherIterationTraceAllocs' -count 1 -v ./internal/core/
 
 # bench-smoke is the candidate engine's fast perf gate: the zero-alloc
 # assertions on the sweep (full and granular) and the searcher's generate
@@ -41,6 +43,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCandidates400|BenchmarkNeighborhood400|BenchmarkCandidatesInto400|BenchmarkCandidatesGranular400' \
 	  -benchtime 1x ./internal/operators/
 	$(GO) test -run '^$$' -bench 'BenchmarkSearcherIteration' -benchtime 1x ./internal/core/
+
+# metrics-lint boots a real tsmod daemon on an ephemeral port, pushes one
+# traced job through it, scrapes GET /metrics twice, and lints the
+# Prometheus exposition: well-formed lines, one TYPE per family, no
+# duplicate series, monotone cumulative histogram buckets, le="+Inf" equal
+# to _count, and no counter decreasing between scrapes.
+metrics-lint:
+	$(GO) test -count 1 ./scripts/metricslint/
+	$(GO) run ./scripts/metricslint
 
 # service-e2e runs the solver-service stack — job queue, HTTP/SSE API,
 # daemon signal handling, and the CLI client — under the race detector.
@@ -91,4 +102,4 @@ profile: build
 	  -cpuprofile profiles/cpu.prof -memprofile profiles/heap.prof
 	@echo "profiles written to profiles/{cpu.prof,heap.prof,run.jsonl}"
 
-verify: fmt build vet test race allocs bench-smoke
+verify: fmt build vet test race allocs bench-smoke metrics-lint

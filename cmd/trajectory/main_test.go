@@ -33,3 +33,33 @@ func TestTrajectoryRunWithPlot(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrajectoryZeroIterationRun pins the degenerate budgets: a
+// one-evaluation run stops after construction — the CSV still carries the
+// header and the construction point, and the ASCII plot renders the
+// near-empty trajectory without panicking — while a zero budget is a
+// clean validation error, not a crash.
+func TestTrajectoryZeroIterationRun(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny.csv")
+	if err := run(30, 3, 1, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "iteration,born,distance") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Errorf("one-evaluation run wrote no trajectory points: %q", lines)
+	}
+
+	if err := run(30, 3, 0, 1, filepath.Join(dir, "zero.csv"), false); err == nil {
+		t.Error("zero-evaluation budget did not report a validation error")
+	} else if !strings.Contains(err.Error(), "MaxEvaluations") {
+		t.Errorf("unexpected zero-budget error: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Command tsmo-compare diffs two search flight recordings — the JSON
+// served by the daemon's GET /v1/jobs/{id}/flight — into a per-interval
+// convergence-delta table: hypervolume, spacing and archive size of both
+// runs at each shared evaluation count, plus B minus A. Two recordings of
+// the same instance/seed/config on the sim backend are bit-identical and
+// diff to zero, so any non-zero row localizes a behavior change to the
+// first sampling interval where the trajectories split.
+//
+//	curl -s localhost:8080/v1/jobs/j000001/flight > a.json
+//	curl -s localhost:8080/v1/jobs/j000002/flight > b.json
+//	tsmo-compare a.json b.json
+//
+// With -max-delta-hv the command doubles as a regression gate: it exits 1
+// when the largest absolute hypervolume delta exceeds the threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/buildinfo"
+	"repro/internal/flight"
+)
+
+func main() {
+	var (
+		maxDeltaHV = flag.Float64("max-delta-hv", -1, "fail (exit 1) when |delta_hv| exceeds this at any interval (<0 = report only)")
+		version    = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tsmo-compare [flags] <a.json> <b.json>")
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *maxDeltaHV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsmo-compare:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run diffs the recordings at pathA/pathB into w and returns the process
+// exit code: 0 when within the threshold (or no threshold), 1 otherwise.
+func run(w io.Writer, pathA, pathB string, maxDeltaHV float64) (int, error) {
+	a, err := load(pathA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := load(pathB)
+	if err != nil {
+		return 0, err
+	}
+	if a.Instance != b.Instance || a.Seed != b.Seed {
+		fmt.Fprintf(w, "note: comparing different runs: %s seed %d vs %s seed %d\n",
+			a.Instance, a.Seed, b.Instance, b.Seed)
+	}
+	rows, onlyA, onlyB := flight.Diff(a, b)
+	if err := flight.WriteTable(w, rows); err != nil {
+		return 0, err
+	}
+	maxHV := flight.MaxAbsDeltaHV(rows)
+	fmt.Fprintf(w, "%d shared intervals, %d only in %s, %d only in %s, max |delta_hv| %g\n",
+		len(rows), onlyA, pathA, onlyB, pathB, maxHV)
+	if maxDeltaHV >= 0 && (maxHV > maxDeltaHV || onlyA > 0 || onlyB > 0) {
+		fmt.Fprintf(w, "FAIL: recordings differ beyond max-delta-hv %g\n", maxDeltaHV)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func load(path string) (flight.Recording, error) {
+	var rec flight.Recording
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

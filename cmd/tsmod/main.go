@@ -48,6 +48,8 @@ func main() {
 		maxWall      = flag.Float64("max-wall", 0, "per-job wall-clock deadline cap in seconds (0 = none)")
 		dataDir      = flag.String("data-dir", "", "durable state directory: job journal, checkpoints, results (empty = in-memory)")
 		ckptEvery    = flag.Int("ckpt-every", 0, "search-checkpoint interval in iterations for durable jobs (0 = default 500)")
+		traceDir     = flag.String("trace-dir", "", "directory receiving per-job OTLP/JSON trace exports (empty = off)")
+		traceURL     = flag.String("trace-collector", "", "OTLP/HTTP collector endpoint for terminal-job traces, e.g. http://collector:4318/v1/traces (empty = off)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "grace period for running jobs on shutdown")
 		logLevel     = flag.String("log-level", "info", "slog level: debug, info, warn or error")
 		version      = flag.Bool("version", false, "print the version and exit")
@@ -67,6 +69,8 @@ func main() {
 		MaxWallSeconds:  *maxWall,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		TraceDir:        *traceDir,
+		TraceCollector:  *traceURL,
 		Version:         buildinfo.Version(),
 	}
 	if err := run(*addr, cfg, *drainTimeout, *logLevel); err != nil {

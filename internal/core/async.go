@@ -296,13 +296,18 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			initialPhase = false
 		}
 		if len(commList) > 0 && !initialPhase && improved {
+			sp := s.tr.Start(s.phase, "share").SetInt("proc", int64(p.ID()))
 			dropDeadPeers(p, &commList, fg)
 			if len(commList) > 0 {
 				shares += sendShare(p, in, cfg, s.cur, &commList)
 			}
+			sp.End()
 		}
 
 		if cfg.checkpointDue(s.iter) && !s.done(p) && protoErr == nil {
+			ckptSpan := s.tr.Start(s.phase, "ckpt_barrier").
+				SetInt("proc", int64(p.ID())).
+				SetInt("barrier", int64(s.iter/cfg.CheckpointEvery))
 			// Checkpoint barrier. First quiesce: wait for every remaining
 			// worker to go idle, folding stragglers' results into pending
 			// — they join the next iteration's candidate set, exactly as
@@ -334,6 +339,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 				protoErr = handle(m)
 			}
 			if protoErr != nil {
+				ckptSpan.End()
 				break
 			}
 			b := s.iter / cfg.CheckpointEvery
@@ -348,6 +354,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			} else {
 				cfg.Telemetry.CheckpointGroup().Skip()
 			}
+			ckptSpan.End()
 		}
 	}
 	for _, w := range initial {

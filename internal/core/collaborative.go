@@ -182,17 +182,22 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			initialPhase = false
 		}
 		if !initialPhase && improved && len(commList) > 0 {
+			sp := s.tr.Start(s.phase, "share").SetInt("proc", int64(p.ID()))
 			dropDeadPeers(p, &commList, fg)
 			if len(commList) > 0 {
 				shares += sendShare(p, in, cfg, s.cur, &commList)
 			}
+			sp.End()
 		}
 
 		if p.ID() == 0 && cfg.checkpointDue(s.iter) && !s.done(p) {
 			b := s.iter / cfg.CheckpointEvery
-			if err := collabBarrier(p, cfg, b, foldShare, func() {
+			ckptSpan := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
+			err := collabBarrier(p, cfg, b, foldShare, func() {
 				cfg.coll.put(p.ID(), capturePart(b))
-			}); err != nil {
+			})
+			ckptSpan.End()
+			if err != nil {
 				return s.failOutcome(err)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/operators"
 	"repro/internal/solution"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
 
@@ -225,6 +226,15 @@ type Config struct {
 	// loop head, so cancellation stops a run within one iteration and
 	// the partial result is still returned.
 	ctx context.Context
+
+	// Tracing internals, set by RunContext from the span recorder carried
+	// in its context (trace.FromContext): the trace and the "run" span all
+	// per-variant phase spans parent to. Both nil when the context carries
+	// no recorder — the disabled layer, one branch per instrumentation
+	// site. Excluded from the checkpoint fingerprint, like Telemetry:
+	// tracing observes the trajectory, it never shapes it.
+	tracer *trace.Trace
+	span   *trace.Span
 
 	// Checkpointing internals, set by RunContext: the algorithm of the
 	// run (for checkpoint assembly), the instance/config fingerprints,

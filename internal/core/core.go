@@ -23,6 +23,7 @@ import (
 	"repro/internal/operators"
 	"repro/internal/rng"
 	"repro/internal/solution"
+	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
 
@@ -84,6 +85,20 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 	}
 	cfg.ctx = ctx
 	cfg.alg = alg
+	// When the context carries a span recorder (the solver service threads
+	// one per job), the whole run becomes a "run" span and every phase span
+	// below — construction, sweep batches, checkpoint barriers, share
+	// rounds, delta-eval shards — parents directly to it, so ring overflow
+	// can only ever drop leaves, never the root of the tree.
+	tr, parentSpan := trace.FromContext(ctx)
+	runSpan := tr.Start(parentSpan, "run").
+		SetAttr("algorithm", alg.String()).
+		SetInt("processors", int64(cfg.Processors)).
+		SetInt("seed", int64(cfg.Seed)).
+		SetInt("max_evaluations", int64(cfg.MaxEvaluations))
+	cfg.tracer, cfg.span = tr, runSpan
+	ctx = trace.NewContext(ctx, tr, runSpan)
+	defer runSpan.End()
 	if cfg.checkpointing() {
 		cfg.instDigest = instanceDigest(in)
 		cfg.cfgDigest = configDigest(&cfg, alg)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/solution"
 	"repro/internal/tabu"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
 
@@ -90,7 +91,22 @@ type searcher struct {
 	ts    *telemetry.SearchStats
 	ops   *telemetry.OpTable
 	hvRef solution.Objectives
+
+	// Tracing (nil when the run carries no recorder). Iterations are far
+	// too fine-grained for one span each, so the searcher batches them:
+	// traceIter opens a "sweep" span lazily and closeSweep seals it every
+	// sweepBatchIters iterations (and at outcome), amortizing the span
+	// cost to a fraction of an allocation per iteration.
+	tr      *trace.Trace
+	phase   *trace.Span // parent of this searcher's phase spans (the run span)
+	sweep   *trace.Span // open batched sweep span, nil between batches
+	sweepLo int         // first iteration covered by the open sweep span
 }
+
+// sweepBatchIters is the number of iterations folded into one "sweep"
+// span — small enough to localize a stall, large enough to stay within
+// the <=3% enabled-tracing overhead gate (BENCH_trace.json).
+const sweepBatchIters = 128
 
 // procOutcome is what each algorithm body hands back to Run.
 type procOutcome struct {
@@ -104,6 +120,7 @@ type procOutcome struct {
 
 // outcome packages the searcher's final state.
 func (s *searcher) outcome(shares int) procOutcome {
+	s.closeSweep()
 	return procOutcome{
 		front:   s.archive.Snapshot(),
 		evals:   s.evals,
@@ -130,12 +147,16 @@ func (s *searcher) evalDataSpan(p deme.Proc, data []operators.MoveData, objs []s
 	if len(data) == 0 {
 		return
 	}
+	sp := s.tr.Start(s.phase, "eval_shard").
+		SetInt("proc", int64(p.ID())).
+		SetInt("moves", int64(len(data)))
 	s.gen.EvalDataInto(s.cur, data, objs)
 	var cost float64
 	for i := range objs {
 		cost += s.cfg.Cost.evalCost(s.in, int(objs[i].Vehicles))
 	}
 	p.Compute(cost)
+	sp.End()
 }
 
 // maybeSample records a convergence sample when due.
@@ -219,6 +240,8 @@ func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, ten
 		tel:          cfg.Telemetry,
 		ts:           cfg.Telemetry.SearchGroup(),
 		ops:          cfg.Telemetry.Operators(),
+		tr:           cfg.tracer,
+		phase:        cfg.span,
 	}
 	s.gen.DeltaStats = cfg.Telemetry.DeltaGroup()
 	s.gen.SpliceStats = cfg.Telemetry.SpliceGroup()
@@ -235,6 +258,8 @@ func newSearcher(in *vrptw.Instance, cfg *Config, r *rng.Rand, neighborhood, ten
 // init generates the initial solution with the randomized I1 heuristic,
 // charges its modeled cost, and seeds the memories.
 func (s *searcher) init(p deme.Proc) {
+	sp := s.tr.Start(s.phase, "construct").SetInt("proc", int64(p.ID()))
+	defer sp.End()
 	s.cur = construct.I1(s.in, construct.RandomParams(s.r))
 	p.Compute(s.cfg.Cost.ConstructPerCustomer * float64(s.in.N()))
 	s.evals++
@@ -398,8 +423,38 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 	}
 	s.iter++
 	s.ts.Iteration()
+	s.traceIter(p)
 	s.maybeSample(p)
 	return improved
+}
+
+// traceIter maintains the batched "sweep" span: opened lazily on the
+// first traced iteration, sealed every sweepBatchIters iterations. One
+// branch when tracing is disabled.
+func (s *searcher) traceIter(p deme.Proc) {
+	if s.tr == nil {
+		return
+	}
+	if s.sweep == nil {
+		s.sweepLo = s.iter - 1
+		s.sweep = s.tr.Start(s.phase, "sweep").SetInt("proc", int64(p.ID()))
+	}
+	if s.iter-s.sweepLo >= sweepBatchIters {
+		s.closeSweep()
+	}
+}
+
+// closeSweep seals the open sweep span (if any) with its iteration range
+// and the evaluation count reached.
+func (s *searcher) closeSweep() {
+	if s.sweep == nil {
+		return
+	}
+	s.sweep.SetInt("iter_lo", int64(s.sweepLo)).
+		SetInt("iter_hi", int64(s.iter)).
+		SetInt("evals", int64(s.evals))
+	s.sweep.End()
+	s.sweep = nil
 }
 
 // foldFront inserts candidate i into the running non-dominated front s.nd:

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
 
@@ -91,6 +92,22 @@ func BenchmarkSearcherIterationParallel(b *testing.B) {
 // against BenchmarkSearcherIteration).
 func BenchmarkSearcherIterationTelemetry(b *testing.B) {
 	s, p, size := benchSearcherCfg(b, telemetry.New(nil, nil), benchGranularK, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(p, s.generate(p, size))
+	}
+}
+
+// BenchmarkSearcherIterationTrace is the granular iteration with an
+// enabled span recorder: the searcher batches iterations into "sweep"
+// spans, so the pair against BenchmarkSearcherIteration gates the
+// enabled-tracing overhead at <=3% (scripts/bench.sh → BENCH_trace.json).
+func BenchmarkSearcherIterationTrace(b *testing.B) {
+	s, p, size := benchSearcherCfg(b, nil, benchGranularK, 0)
+	tr := trace.New(0)
+	s.tr = tr
+	s.phase = tr.Start(nil, "run")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -29,8 +29,10 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 		s.step(p, cands)
 		if cfg.checkpointDue(s.iter) && !s.done(p) {
 			b := s.iter / cfg.CheckpointEvery
+			sp := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
 			cfg.coll.put(p.ID(), s.capture(p, b, false))
 			cfg.emitCheckpoint(b)
+			sp.End()
 		}
 	}
 	return s.outcome(0)

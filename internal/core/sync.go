@@ -180,12 +180,15 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			// barrier fits between the result collection and the next
 			// dispatch.
 			b := s.iter / cfg.CheckpointEvery
+			sp := s.tr.Start(s.phase, "ckpt_barrier").
+				SetInt("proc", int64(p.ID())).SetInt("barrier", int64(b))
 			if ckptWorkers(p, cfg, alive, b) {
 				cfg.coll.put(p.ID(), s.capture(p, b, false))
 				cfg.emitCheckpoint(b)
 			} else {
 				cfg.Telemetry.CheckpointGroup().Skip()
 			}
+			sp.End()
 		}
 	}
 	stopWorkers(p)

@@ -88,6 +88,9 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 			// Synchronous span: evaluate exactly the shipped moves. The
 			// reply's objectives slice is freshly allocated — it crosses
 			// the goroutine boundary.
+			sp := cfg.tracer.Start(cfg.span, "eval_shard").
+				SetInt("proc", int64(p.ID())).
+				SetInt("moves", int64(len(w.data)))
 			objs := make([]solution.Objectives, len(w.data))
 			gen.EvalDataInto(w.cur, w.data, objs)
 			var cost float64
@@ -97,11 +100,15 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 			p.Compute(cost)
 			p.Send(master, tagResult, resultMsg{objs: objs, lo: w.lo, iter: w.iter}, len(objs)*solBytes(in))
 			ws.Chunk(len(objs), busyStart-idleStart, p.Now()-busyStart)
+			sp.End()
 			continue
 		}
 		if cfg.checkpointing() {
 			r.Seed(chunkSeed(seed, w.iter))
 		}
+		sp := cfg.tracer.Start(cfg.span, "eval_shard").
+			SetInt("proc", int64(p.ID())).
+			SetInt("moves", int64(w.count))
 		gen.CandidatesInto(&buf, w.cur, r, w.count)
 		cands := make([]cand, len(buf.Data))
 		var cost float64
@@ -125,5 +132,6 @@ func workerLoop(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, seed 
 		p.Compute(cost)
 		p.Send(master, tagResult, resultMsg{cands: cands}, len(cands)*solBytes(in))
 		ws.Chunk(len(cands), busyStart-idleStart, p.Now()-busyStart)
+		sp.End()
 	}
 }

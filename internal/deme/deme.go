@@ -24,6 +24,7 @@ import (
 	"context"
 
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Message is the unit of inter-process communication.
@@ -117,7 +118,12 @@ type Restorer interface {
 // RunWith runs body on rt under ctx: runtimes implementing ContextRunner
 // get the context natively; any other backend falls back to a plain Run,
 // where cancellation works solely through the bodies' own context checks.
+// When ctx carries a span recorder (trace.FromContext), the whole backend
+// execution — spawn to last body return — is one "deme.run" span.
 func RunWith(ctx context.Context, rt Runtime, n int, body func(Proc)) error {
+	tr, parent := trace.FromContext(ctx)
+	sp := tr.Start(parent, "deme.run").SetInt("procs", int64(n))
+	defer sp.End()
 	if ctx != nil {
 		if cr, ok := rt.(ContextRunner); ok {
 			return cr.RunContext(ctx, n, body)

@@ -1,0 +1,186 @@
+// Package flight is the search flight recorder: a bounded per-job ring of
+// periodic convergence samples (hypervolume, spacing, archive sizes,
+// per-operator accept rates, evaluation throughput) that survives the job
+// and is queryable over HTTP (GET /v1/jobs/{id}/flight) and diffable
+// across runs by cmd/tsmo-compare.
+//
+// Samples carry only run-deterministic fields — evaluation counts,
+// modeled time, front metrics — never wall-clock timestamps, so two
+// recordings of the same instance/seed/config on the sim backend are
+// bit-identical and diff to zero (the regression-triage baseline).
+package flight
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sample is one convergence observation on the sampling grid.
+type Sample struct {
+	Evals       int64   `json:"evals"`
+	Iteration   int64   `json:"iteration"`
+	Time        float64 `json:"time"` // modeled (sim) or wall seconds since run start
+	ArchiveSize int     `json:"archive_size"`
+	NondomSize  int     `json:"nondom_size"`
+	Hypervolume float64 `json:"hypervolume"`
+	Spacing     float64 `json:"spacing"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	// AcceptRates maps operator name to accepted/proposed at sample time.
+	AcceptRates map[string]float64 `json:"accept_rates,omitempty"`
+}
+
+// Recording is a complete flight recording: the job's identity plus every
+// retained sample in observation order. This is the /v1/jobs/{id}/flight
+// payload and the cmd/tsmo-compare input format.
+type Recording struct {
+	Job         string   `json:"job,omitempty"`
+	Instance    string   `json:"instance"`
+	Algorithm   string   `json:"algorithm"`
+	Seed        int64    `json:"seed"`
+	SampleEvery int      `json:"sample_every"`
+	Dropped     int64    `json:"dropped"`
+	Samples     []Sample `json:"samples"`
+}
+
+// DefaultRingCap bounds the sample ring when NewRing is given a
+// non-positive capacity.
+const DefaultRingCap = 1024
+
+// Ring is a bounded overwrite-oldest sample ring, safe for concurrent
+// Observe and Snapshot. All methods are nil-safe so an unwired recorder
+// costs callers one branch.
+type Ring struct {
+	mu      sync.Mutex
+	ring    []Sample
+	head    int
+	filled  bool
+	dropped int64
+}
+
+// NewRing returns a ring retaining the last cap samples (DefaultRingCap
+// when cap <= 0).
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Ring{ring: make([]Sample, cap)}
+}
+
+// Observe appends one sample, overwriting the oldest on overflow.
+func (r *Ring) Observe(s Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.filled {
+		r.dropped++
+	}
+	r.ring[r.head] = s
+	r.head++
+	if r.head == len(r.ring) {
+		r.head = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained samples in observation order plus the
+// count dropped by overflow.
+func (r *Ring) Snapshot() ([]Sample, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	if r.filled {
+		out = make([]Sample, 0, len(r.ring))
+		out = append(out, r.ring[r.head:]...)
+		out = append(out, r.ring[:r.head]...)
+	} else {
+		out = append([]Sample(nil), r.ring[:r.head]...)
+	}
+	return out, r.dropped
+}
+
+// DeltaRow is one aligned interval of a recording diff: the two runs'
+// front metrics at the same evaluation count, and B minus A.
+type DeltaRow struct {
+	Evals        int64
+	HVA, HVB     float64
+	DeltaHV      float64
+	SpacingA     float64
+	SpacingB     float64
+	DeltaSpacing float64
+	ArchiveA     int
+	ArchiveB     int
+}
+
+// Diff aligns two recordings on their evaluation grid (the intersection
+// of sampled Evals values) and returns per-interval deltas plus how many
+// samples of each side had no counterpart. Same instance/seed/config
+// recordings share the grid exactly, so onlyA/onlyB == 0 there.
+func Diff(a, b Recording) (rows []DeltaRow, onlyA, onlyB int) {
+	bByEvals := make(map[int64]Sample, len(b.Samples))
+	for _, s := range b.Samples {
+		bByEvals[s.Evals] = s
+	}
+	matchedB := make(map[int64]bool, len(b.Samples))
+	for _, sa := range a.Samples {
+		sb, ok := bByEvals[sa.Evals]
+		if !ok {
+			onlyA++
+			continue
+		}
+		matchedB[sa.Evals] = true
+		rows = append(rows, DeltaRow{
+			Evals:        sa.Evals,
+			HVA:          sa.Hypervolume,
+			HVB:          sb.Hypervolume,
+			DeltaHV:      sb.Hypervolume - sa.Hypervolume,
+			SpacingA:     sa.Spacing,
+			SpacingB:     sb.Spacing,
+			DeltaSpacing: sb.Spacing - sa.Spacing,
+			ArchiveA:     sa.ArchiveSize,
+			ArchiveB:     sb.ArchiveSize,
+		})
+	}
+	for _, s := range b.Samples {
+		if !matchedB[s.Evals] {
+			onlyB++
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Evals < rows[j].Evals })
+	return rows, onlyA, onlyB
+}
+
+// MaxAbsDeltaHV returns the largest absolute hypervolume delta across the
+// rows — the single number a regression gate thresholds on.
+func MaxAbsDeltaHV(rows []DeltaRow) float64 {
+	m := 0.0
+	for _, r := range rows {
+		if d := math.Abs(r.DeltaHV); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// WriteTable renders the convergence-delta table.
+func WriteTable(w io.Writer, rows []DeltaRow) error {
+	if _, err := fmt.Fprintf(w, "%12s %14s %14s %12s %10s %10s %8s\n",
+		"evals", "hv_a", "hv_b", "delta_hv", "spacing_a", "spacing_b", "archive"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		arch := fmt.Sprintf("%d/%d", r.ArchiveA, r.ArchiveB)
+		if _, err := fmt.Fprintf(w, "%12d %14.6g %14.6g %+12.6g %10.4g %10.4g %8s\n",
+			r.Evals, r.HVA, r.HVB, r.DeltaHV, r.SpacingA, r.SpacingB, arch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingOrderAndOverflow(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 7; i++ {
+		r.Observe(Sample{Evals: int64(i * 100)})
+	}
+	got, dropped := r.Snapshot()
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := int64((4 + i) * 100); s.Evals != want {
+			t.Errorf("sample %d evals = %d, want %d", i, s.Evals, want)
+		}
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Observe(Sample{Evals: 1})
+	if s, d := r.Snapshot(); s != nil || d != 0 {
+		t.Error("nil ring snapshot not empty")
+	}
+}
+
+// TestRingConcurrentRoundTrip is the -race round-trip gate from the issue:
+// concurrent observers and snapshotters must neither race nor lose counts
+// — every observation is either retained or accounted as dropped.
+func TestRingConcurrentRoundTrip(t *testing.T) {
+	r := NewRing(64)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Observe(Sample{Evals: int64(g*perWriter + i), AcceptRates: map[string]float64{"2opt": 0.5}})
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s, _ := r.Snapshot(); len(s) > 64 {
+					t.Error("snapshot exceeds ring capacity")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	got, dropped := r.Snapshot()
+	if len(got)+int(dropped) != writers*perWriter {
+		t.Errorf("retained %d + dropped %d != observed %d", len(got), dropped, writers*perWriter)
+	}
+}
+
+func mkRecording(hvs ...float64) Recording {
+	rec := Recording{Instance: "R1_4_1", Algorithm: "sequential", Seed: 42, SampleEvery: 100}
+	for i, hv := range hvs {
+		rec.Samples = append(rec.Samples, Sample{
+			Evals: int64((i + 1) * 100), Hypervolume: hv, Spacing: 0.1, ArchiveSize: i + 1,
+		})
+	}
+	return rec
+}
+
+func TestDiffIdenticalIsZero(t *testing.T) {
+	a := mkRecording(1, 2, 3, 4)
+	rows, onlyA, onlyB := Diff(a, a)
+	if onlyA != 0 || onlyB != 0 {
+		t.Errorf("unmatched samples on identical recordings: %d/%d", onlyA, onlyB)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if MaxAbsDeltaHV(rows) != 0 {
+		t.Errorf("identical recordings diff to %g, want 0", MaxAbsDeltaHV(rows))
+	}
+}
+
+func TestDiffAlignsAndReportsUnmatched(t *testing.T) {
+	a := mkRecording(1, 2, 3)
+	b := mkRecording(1, 2.5)
+	b.Samples = append(b.Samples, Sample{Evals: 999, Hypervolume: 9}) // off-grid
+	rows, onlyA, onlyB := Diff(a, b)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if onlyA != 1 || onlyB != 1 {
+		t.Errorf("onlyA/onlyB = %d/%d, want 1/1", onlyA, onlyB)
+	}
+	if rows[1].DeltaHV != 0.5 {
+		t.Errorf("delta at evals 200 = %g, want 0.5", rows[1].DeltaHV)
+	}
+	if MaxAbsDeltaHV(rows) != 0.5 {
+		t.Errorf("max delta = %g, want 0.5", MaxAbsDeltaHV(rows))
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	rows, _, _ := Diff(mkRecording(1, 2), mkRecording(1.5, 2))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "delta_hv") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.5") {
+		t.Errorf("missing signed delta:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("table has %d lines, want 3:\n%s", lines, out)
+	}
+}
+
+func TestRecordingJSONRoundTrip(t *testing.T) {
+	rec := mkRecording(1, 2)
+	rec.Job = "j000001"
+	rec.Dropped = 5
+	rec.Samples[0].AcceptRates = map[string]float64{"relocate": 0.25}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Recording
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Job != rec.Job || back.Seed != rec.Seed || len(back.Samples) != 2 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if back.Samples[0].AcceptRates["relocate"] != 0.25 {
+		t.Errorf("accept rates lost: %+v", back.Samples[0])
+	}
+}

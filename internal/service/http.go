@@ -8,8 +8,10 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/resultio"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes bounds a submission body; inline Solomon text for the
@@ -24,7 +26,10 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/jobs/{id}/events SSE stream of job events (Last-Event-ID resume)
 //	GET    /v1/jobs/{id}/result final front as a resultio.FrontFile (409 early)
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/flight flight recording (periodic convergence samples)
+//	GET    /v1/jobs/{id}/trace  recorded spans as OTLP/JSON
 //	GET    /v1/healthz          service health, version, queue occupancy
+//	GET    /metrics             Prometheus text-format exposition
 //	GET    /telemetry           per-job instrument snapshots
 //	/debug/pprof/*, /debug/vars from internal/telemetry
 func (s *Service) Handler() http.Handler {
@@ -35,7 +40,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
 	telemetry.RegisterDebug(mux)
 	return mux
@@ -60,6 +68,7 @@ type SubmitResponse struct {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	accepted := time.Now()
 	var spec JobSpec
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -67,6 +76,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
+	}
+	// W3C trace context: the request header wins over a body field, so
+	// proxies that inject traceparent headers correlate transparently.
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		spec.Traceparent = tp
 	}
 	j, err := s.Submit(spec)
 	switch {
@@ -85,6 +99,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The accept span covers decode+validate+enqueue, backdated to
+	// handler entry; the response echoes the job's traceparent so callers
+	// without their own trace can still fetch and correlate the export.
+	j.tr.StartAt(j.rootSpan, "accept", accepted).End()
+	w.Header().Set("traceparent", j.tr.Traceparent(j.rootSpan))
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:        j.ID,
 		State:     j.State(),
@@ -174,6 +193,55 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
 		jobs[j.ID] = j.tel.Snapshot()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"service": s.Stats(), "jobs": jobs})
+}
+
+// handleMetrics serves the Prometheus text-format exposition. The
+// retained-job list is captured under s.mu (inside Jobs/Stats) before the
+// metrics lock is taken, preserving the service's lock order.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.met.writeMetrics(w, st, jobs); err != nil {
+		return // client gone mid-scrape
+	}
+}
+
+// handleFlight serves a job's flight recording: the identity plus every
+// retained convergence sample, queryable while the job runs and after it
+// is terminal. This is the cmd/tsmo-compare input format.
+func (s *Service) handleFlight(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	samples, dropped := j.fr.Snapshot()
+	writeJSON(w, http.StatusOK, flight.Recording{
+		Job:         j.ID,
+		Instance:    j.instName,
+		Algorithm:   j.alg.String(),
+		Seed:        int64(j.cfg.Seed),
+		SampleEvery: j.cfg.SampleEvery,
+		Dropped:     dropped,
+		Samples:     samples,
+	})
+}
+
+// handleTrace serves the job's recorded spans as OTLP/JSON — the same
+// payload a collector would receive, fetchable ad hoc for debugging a
+// single job.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, err := trace.Export("tsmod", j.tr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client gone
 }
 
 // sseHeartbeat is how often an idle event stream emits a keep-alive

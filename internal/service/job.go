@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/resultio"
 	"repro/internal/solution"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
 
@@ -90,6 +92,11 @@ type JobSpec struct {
 	Backend string `json:"backend,omitempty"`
 	// SampleEvery enables convergence samples in the stored result.
 	SampleEvery int `json:"sample_every,omitempty"`
+	// Traceparent is a W3C trace-context header value tying the job's
+	// spans to a caller-initiated distributed trace. The HTTP handler
+	// fills it from the request's traceparent header (which wins over a
+	// body value); malformed values start a fresh trace. See DESIGN.md §12.
+	Traceparent string `json:"traceparent,omitempty"`
 	// IdempotencyKey, when non-empty, makes the submission retry-safe: a
 	// second submission carrying a key the service has already accepted
 	// returns the original job instead of creating a duplicate. Keys live
@@ -131,6 +138,13 @@ func (p FrontPoint) objectives() solution.Objectives {
 // from the oldest retained event.
 const maxEvents = 16384
 
+// jobTraceRingCap bounds a job's completed-span ring. The ring array is
+// allocated up front per job, so this is deliberately smaller than
+// trace.DefaultRingCap; long parallel runs overflow it by dropping the
+// oldest eval-shard leaves while the long-lived lifecycle spans — which
+// end last — always survive.
+const jobTraceRingCap = 1024
+
 // Job is one solve job owned by a Service.
 type Job struct {
 	// ID is the service-assigned job id.
@@ -149,6 +163,15 @@ type Job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	doneOnce sync.Once
+
+	// tr is the job's span recorder; rootSpan ("job") covers the whole
+	// lifecycle and parents every other span, queueSpan ("queue") the
+	// submit-to-start wait. fr is the flight recorder, fed by the solver's
+	// periodic snapshot events.
+	tr        *trace.Trace
+	rootSpan  *trace.Span
+	queueSpan *trace.Span
+	fr        *flight.Ring
 
 	// resume is the recovered checkpoint a re-queued job continues from;
 	// restored is the persisted result a recovered terminal job serves.
@@ -171,6 +194,7 @@ type Job struct {
 	hvRef      solution.Objectives
 	haveRef    bool
 	result     *core.Result
+	firstPoint time.Time // when the first front point arrived (SLO histogram)
 }
 
 // newJob validates a spec against the service limits and materializes the
@@ -260,6 +284,17 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 	cfg.GranularK = spec.GranularK
 	cfg.EvalWorkers = spec.EvalWorkers
 	cfg.SampleEvery = spec.SampleEvery
+	if cfg.SampleEvery <= 0 {
+		// Default the sampling grid so every job leaves a flight recording:
+		// ~64 samples across the budget, but never so dense that sampling
+		// overhead shows on small jobs. Deterministic in the spec (recovery
+		// rebuilds the job from its journaled spec and lands on the same
+		// grid), so resumed runs keep bit-identical trajectories.
+		cfg.SampleEvery = cfg.MaxEvaluations / 64
+		if cfg.SampleEvery < 1000 {
+			cfg.SampleEvery = 1000
+		}
+	}
 
 	switch spec.Backend {
 	case "", "sim":
@@ -287,7 +322,26 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 	cfg.Telemetry = j.tel
 	j.cfg = cfg
 
+	// Every job is traced: the recorder costs nothing until spans are
+	// recorded, and the ring grows lazily. A submitted traceparent makes
+	// the job's "job" span a child of the caller's span; otherwise the
+	// job roots its own trace.
+	if spec.Traceparent != "" {
+		j.tr = trace.NewFrom(spec.Traceparent, jobTraceRingCap)
+	} else {
+		j.tr = trace.New(jobTraceRingCap)
+	}
+	j.rootSpan = j.tr.Start(nil, "job").
+		SetAttr("instance", j.instName).
+		SetAttr("algorithm", j.alg.String()).
+		SetAttr("backend", j.backend).
+		SetInt("seed", int64(j.cfg.Seed))
+	j.fr = flight.NewRing(0)
+
 	j.ctx, j.cancel = context.WithCancel(context.Background())
+	// The solver picks the trace up from the context: core.RunContext
+	// starts its "run" span as a child of the job span.
+	j.ctx = trace.NewContext(j.ctx, j.tr, j.rootSpan)
 	return j, nil
 }
 
@@ -325,6 +379,31 @@ func (j *Job) observe(name string, fields map[string]any) {
 			Iteration: fieldInt(fields, "iteration"),
 			Time:      fieldFloat(fields, "time"),
 		})
+	case "snapshot":
+		// Periodic convergence snapshot (Config.SampleEvery grid): feed
+		// the flight recorder. Only run-deterministic fields go in, so two
+		// same-seed sim recordings are bit-identical (see package flight).
+		sm := flight.Sample{
+			Evals:       int64(fieldInt(fields, "evals")),
+			Iteration:   int64(fieldInt(fields, "iteration")),
+			Time:        fieldFloat(fields, "time"),
+			ArchiveSize: fieldInt(fields, "archive_size"),
+			NondomSize:  fieldInt(fields, "nondom_size"),
+			Hypervolume: fieldFloat(fields, "hypervolume"),
+			Spacing:     fieldFloat(fields, "spacing"),
+		}
+		if sm.Time > 0 {
+			sm.EvalsPerSec = float64(sm.Evals) / sm.Time
+		}
+		if ops := j.tel.Operators().Snapshot(); len(ops) > 0 {
+			sm.AcceptRates = make(map[string]float64, len(ops))
+			for op, st := range ops {
+				if r, ok := st["accept_rate"].(float64); ok {
+					sm.AcceptRates[op] = r
+				}
+			}
+		}
+		j.fr.Observe(sm)
 	}
 	j.appendEventLocked(name, fields)
 }
@@ -333,6 +412,9 @@ func (j *Job) observe(name string, fields map[string]any) {
 // keeping it mutually non-dominated. Accepted points come from per-process
 // archives, so the union needs this global dominance prune.
 func (j *Job) insertPointLocked(pt FrontPoint) {
+	if j.firstPoint.IsZero() {
+		j.firstPoint = time.Now() // submit-to-first-point SLO mark
+	}
 	obj := pt.objectives()
 	kept := j.front[:0]
 	for _, q := range j.front {
@@ -512,6 +594,7 @@ func (j *Job) begin() bool {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.queueSpan.End()
 	j.appendEventLocked("started", map[string]any{"job": j.ID})
 	return true
 }
@@ -554,11 +637,27 @@ func (j *Job) terminalLocked(state State, fields map[string]any) {
 	j.appendEventLocked(string(state), fields)
 	j.doneOnce.Do(func() {
 		j.cancel()
+		// Seal the lifecycle spans: the queue span (idempotent — begin
+		// already ended it unless the job was canceled while queued), then
+		// the root job span stamped with the terminal state.
+		j.queueSpan.End()
+		j.rootSpan.SetAttr("state", string(state)).End()
 		if j.svc != nil {
+			// Fold this job's final telemetry into the service-wide
+			// Prometheus aggregation and record the SLO observations
+			// (lock order j.mu -> met.mu).
+			start := j.started
+			if start.IsZero() {
+				start = j.finished // canceled while queued: all wait, no run
+			}
+			j.svc.met.complete(string(state), start.Sub(j.submitted),
+				j.finished.Sub(j.submitted), !j.firstPoint.IsZero(), j.firstPoint.Sub(j.submitted))
+			j.svc.met.fold(j.ID, j.tel.Samples())
 			// Persist before releasing the drain waiter: once jobDone
 			// returns, a clean shutdown may proceed, and the result plus
 			// its journal record must already be on disk.
 			j.svc.persistTerminal(j, state)
+			j.svc.exportTrace(j)
 			j.svc.jobDone()
 		}
 	})

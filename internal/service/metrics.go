@@ -1,0 +1,182 @@
+package service
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// svcMetrics backs the service's Prometheus endpoint: submission and
+// completion counters, the per-job SLO histograms, and the aggregation of
+// solver telemetry across jobs. Every exposed series is monotone by
+// construction between scrapes — the lint gate in scripts/metricslint
+// depends on it:
+//
+//   - The lifecycle counters and SLO histograms only ever increment.
+//   - Solver counters (tsmo_*) are the sum of a retired ledger plus the
+//     live counters of running jobs. A job's final counter values are
+//     folded into the ledger exactly once as it turns terminal (inside the
+//     job's doneOnce), and folded jobs are skipped by the live sum, so a
+//     series can never go backwards when a job finishes or is evicted —
+//     eviction only forgets the folded marker, never the ledger.
+//
+// Lock order: j.mu or s.mu may be held when taking met.mu, never the
+// reverse — svcMetrics calls out to nothing.
+type svcMetrics struct {
+	mu        sync.Mutex
+	submitted int64
+	rejected  map[string]int64 // reason -> submissions refused
+	completed map[string]int64 // terminal state -> jobs
+	retired   map[string]telemetry.Sample
+	folded    map[string]bool // job IDs whose telemetry is in retired
+
+	// The SLO histograms, in nanoseconds (exposed in seconds):
+	// submit->start, submit->first front point, submit->terminal.
+	queueWait  telemetry.Histogram
+	firstPoint telemetry.Histogram
+	duration   telemetry.Histogram
+}
+
+func newSvcMetrics() *svcMetrics {
+	return &svcMetrics{
+		rejected:  make(map[string]int64),
+		completed: make(map[string]int64),
+		retired:   make(map[string]telemetry.Sample),
+		folded:    make(map[string]bool),
+	}
+}
+
+func (m *svcMetrics) submit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *svcMetrics) reject(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+func (m *svcMetrics) complete(state string, queued, total time.Duration, sawPoint bool, firstPoint time.Duration) {
+	m.mu.Lock()
+	m.completed[state]++
+	m.mu.Unlock()
+	m.queueWait.ObserveDuration(queued)
+	m.duration.ObserveDuration(total)
+	if sawPoint {
+		m.firstPoint.ObserveDuration(firstPoint)
+	}
+}
+
+// fold moves a terminal job's final telemetry into the retired ledger.
+// Called exactly once per job (the job's doneOnce).
+func (m *svcMetrics) fold(jobID string, samples []telemetry.Sample) {
+	m.mu.Lock()
+	for _, s := range samples {
+		k := s.Key()
+		r := m.retired[k]
+		r.Name, r.LabelKey, r.LabelValue = s.Name, s.LabelKey, s.LabelValue
+		r.V += s.V
+		m.retired[k] = r
+	}
+	m.folded[jobID] = true
+	m.mu.Unlock()
+}
+
+// forget drops an evicted job's folded marker. Its retired sums stay.
+func (m *svcMetrics) forget(jobID string) {
+	m.mu.Lock()
+	delete(m.folded, jobID)
+	m.mu.Unlock()
+}
+
+// writeMetrics renders the full Prometheus text-format exposition:
+// build info, queue/pool gauges, lifecycle counters, SLO histograms, and
+// the cross-job tsmo_* solver counters. jobs is the retained-job list,
+// captured under s.mu by the caller before met.mu is taken here.
+func (m *svcMetrics) writeMetrics(w io.Writer, st Stats, jobs []*Job) error {
+	version := st.Version
+	if version == "" {
+		version = "unknown"
+	}
+	if err := telemetry.WritePromGauge(w, "tsmod_build_info",
+		"Build metadata; the value is always 1.",
+		[][2]string{{"version", version}}, 1); err != nil {
+		return err
+	}
+	gauges := []struct {
+		name, help string
+		v          float64
+	}{
+		{"tsmod_workers", "Configured worker-pool size.", float64(st.Workers)},
+		{"tsmod_busy_workers", "Workers currently running a job.", float64(st.Busy)},
+		{"tsmod_queue_len", "Jobs waiting in the bounded queue.", float64(st.QueueLen)},
+		{"tsmod_queue_cap", "Capacity of the bounded queue.", float64(st.QueueCap)},
+	}
+	for _, g := range gauges {
+		if err := telemetry.WritePromGauge(w, g.name, g.help, nil, g.v); err != nil {
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	life := []telemetry.Sample{{Name: "tsmod_jobs_submitted_total", V: float64(m.submitted)}}
+	for reason, n := range m.rejected {
+		life = append(life, telemetry.Sample{Name: "tsmod_jobs_rejected_total",
+			LabelKey: "reason", LabelValue: reason, V: float64(n)})
+	}
+	for state, n := range m.completed {
+		life = append(life, telemetry.Sample{Name: "tsmod_jobs_completed_total",
+			LabelKey: "state", LabelValue: state, V: float64(n)})
+	}
+
+	// Solver counters: retired ledger + live counters of unfolded jobs.
+	agg := make(map[string]telemetry.Sample, len(m.retired))
+	for k, s := range m.retired {
+		agg[k] = s
+	}
+	for _, j := range jobs {
+		if m.folded[j.ID] {
+			continue
+		}
+		for _, s := range j.tel.Samples() {
+			k := s.Key()
+			r := agg[k]
+			r.Name, r.LabelKey, r.LabelValue = s.Name, s.LabelKey, s.LabelValue
+			r.V += s.V
+			agg[k] = r
+		}
+	}
+	m.mu.Unlock()
+
+	if err := telemetry.WritePromSamples(w, life); err != nil {
+		return err
+	}
+	hists := []struct {
+		name, help string
+		h          *telemetry.Histogram
+	}{
+		{"tsmod_job_queue_wait_seconds", "Submit-to-start queue wait per job.", &m.queueWait},
+		{"tsmod_job_first_point_seconds", "Submit-to-first-front-point latency per job.", &m.firstPoint},
+		{"tsmod_job_duration_seconds", "Submit-to-terminal-state duration per job.", &m.duration},
+	}
+	for _, h := range hists {
+		if err := telemetry.WritePromHistogram(w, h.name, h.help, h.h.Snapshot(), 1e-9); err != nil {
+			return err
+		}
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	solver := make([]telemetry.Sample, 0, len(agg))
+	for _, k := range keys {
+		solver = append(solver, agg[k])
+	}
+	return telemetry.WritePromSamples(w, solver)
+}

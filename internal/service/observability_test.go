@@ -1,0 +1,269 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/flight"
+)
+
+// otlpDoc mirrors just enough of the OTLP/JSON shape to verify exports.
+type otlpDoc struct {
+	ResourceSpans []struct {
+		ScopeSpans []struct {
+			Spans []otlpTestSpan `json:"spans"`
+		} `json:"scopeSpans"`
+	} `json:"resourceSpans"`
+}
+
+type otlpTestSpan struct {
+	TraceID      string `json:"traceId"`
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId"`
+	Name         string `json:"name"`
+	Start        string `json:"startTimeUnixNano"`
+	End          string `json:"endTimeUnixNano"`
+}
+
+func (d otlpDoc) spans() []otlpTestSpan {
+	var out []otlpTestSpan
+	for _, rs := range d.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			out = append(out, ss.Spans...)
+		}
+	}
+	return out
+}
+
+// TestE2ETraceparentPropagation is the tracing acceptance test: a
+// traceparent header on POST /v1/jobs must propagate to every span of the
+// job's lifecycle, and the export must form a single tree rooted at the
+// "job" span (itself a child of the caller's remote span) covering
+// accept, queue, run, and the searcher phases.
+func TestE2ETraceparentPropagation(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := e2eServer(t, Config{Workers: 1, TraceDir: dir})
+	base := srv.URL
+
+	const remoteTrace = "0af7651916cd43dd8448eb211c80319c"
+	const remoteSpan = "b7ad6b7169203331"
+	const header = "00-" + remoteTrace + "-" + remoteSpan + "-01"
+
+	body, err := json.Marshal(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if tp := resp.Header.Get("traceparent"); !strings.Contains(tp, remoteTrace) {
+		t.Fatalf("submit response traceparent %q does not carry the caller's trace ID", tp)
+	}
+	sub := decodeBody[SubmitResponse](t, resp)
+	waitHTTPState(t, base, sub.ID, StateDone)
+
+	var doc otlpDoc
+	if err := json.NewDecoder(mustGet(t, base+"/v1/jobs/"+sub.ID+"/trace").Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	spans := doc.spans()
+	if len(spans) == 0 {
+		t.Fatal("trace export has no spans")
+	}
+
+	byID := make(map[string]otlpTestSpan, len(spans))
+	names := make(map[string]int)
+	for _, sp := range spans {
+		if sp.TraceID != remoteTrace {
+			t.Fatalf("span %q has trace ID %s, want the caller's %s", sp.Name, sp.TraceID, remoteTrace)
+		}
+		byID[sp.SpanID] = sp
+		names[sp.Name]++
+	}
+	for _, want := range []string{"job", "accept", "queue", "run", "deme.run", "construct", "sweep"} {
+		if names[want] == 0 {
+			t.Errorf("missing %q span (got %v)", want, names)
+		}
+	}
+	// Single rooted tree: exactly one span (the job root) parents to the
+	// remote span; every other span's parent chain reaches it.
+	roots := 0
+	for _, sp := range spans {
+		if sp.ParentSpanID == remoteSpan {
+			roots++
+			if sp.Name != "job" {
+				t.Errorf("span %q roots at the remote parent; only the job span should", sp.Name)
+			}
+			continue
+		}
+		hops := 0
+		cur := sp
+		for cur.ParentSpanID != remoteSpan {
+			parent, ok := byID[cur.ParentSpanID]
+			if !ok {
+				t.Fatalf("span %q has dangling parent %s", sp.Name, cur.ParentSpanID)
+			}
+			cur = parent
+			if hops++; hops > len(spans) {
+				t.Fatalf("parent cycle reaching from span %q", sp.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("export has %d spans parented to the caller, want exactly the job span", roots)
+	}
+	for _, sp := range spans {
+		start, _ := strconv.ParseInt(sp.Start, 10, 64)
+		end, _ := strconv.ParseInt(sp.End, 10, 64)
+		if end < start {
+			t.Errorf("span %q ends before it starts", sp.Name)
+		}
+	}
+
+	// The terminal export landed in TraceDir with the same tree.
+	data, err := os.ReadFile(filepath.Join(dir, sub.ID+".trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileDoc otlpDoc
+	if err := json.Unmarshal(data, &fileDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fileDoc.spans()) != len(spans) {
+		t.Errorf("file export has %d spans, endpoint served %d", len(fileDoc.spans()), len(spans))
+	}
+}
+
+// TestE2EFlightRecording checks the flight endpoint end to end: a finished
+// job serves a recording with its identity and at least one sample, and
+// two same-spec submissions record bit-identical samples (the
+// zero-diff baseline cmd/tsmo-compare builds on).
+func TestE2EFlightRecording(t *testing.T) {
+	_, srv := e2eServer(t, Config{Workers: 1})
+	base := srv.URL
+
+	spec := smallSpec()
+	spec.MaxEvaluations = 5000
+	spec.SampleEvery = 500
+	recordings := make([]flight.Recording, 2)
+	for i := range recordings {
+		sub := decodeBody[SubmitResponse](t, postJob(t, base, spec))
+		waitHTTPState(t, base, sub.ID, StateDone)
+		if err := json.NewDecoder(mustGet(t, base+"/v1/jobs/"+sub.ID+"/flight").Body).Decode(&recordings[i]); err != nil {
+			t.Fatal(err)
+		}
+		rec := recordings[i]
+		if rec.Job != sub.ID || rec.Algorithm != "sequential" || rec.SampleEvery != 500 {
+			t.Fatalf("recording identity: %+v", rec)
+		}
+		if len(rec.Samples) == 0 {
+			t.Fatal("finished job has no flight samples")
+		}
+		for j := 1; j < len(rec.Samples); j++ {
+			if rec.Samples[j].Evals <= rec.Samples[j-1].Evals {
+				t.Fatalf("samples out of order: %+v", rec.Samples)
+			}
+		}
+	}
+	if !reflect.DeepEqual(recordings[0].Samples, recordings[1].Samples) {
+		t.Fatal("same-spec jobs recorded different flight samples")
+	}
+	rows, onlyA, onlyB := flight.Diff(recordings[0], recordings[1])
+	if onlyA != 0 || onlyB != 0 || flight.MaxAbsDeltaHV(rows) != 0 {
+		t.Fatalf("identical runs diff non-zero: onlyA=%d onlyB=%d maxDeltaHV=%g",
+			onlyA, onlyB, flight.MaxAbsDeltaHV(rows))
+	}
+}
+
+// TestE2EMetricsExposition scrapes GET /metrics before and after a job
+// completes: the exposition must be well-formed (the full format lint
+// lives in scripts/metricslint), carry the lifecycle counters, SLO
+// histograms and aggregated solver counters, and stay monotone across the
+// job's terminal transition and fold.
+func TestE2EMetricsExposition(t *testing.T) {
+	_, srv := e2eServer(t, Config{Workers: 1, Version: "metrics-test"})
+	base := srv.URL
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		resp := mustGet(t, base+"/metrics")
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		defer resp.Body.Close()
+		vals := make(map[string]float64)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			cut := strings.LastIndexByte(line, ' ')
+			if cut < 0 {
+				t.Fatalf("malformed exposition line %q", line)
+			}
+			v, err := strconv.ParseFloat(line[cut+1:], 64)
+			if err != nil {
+				t.Fatalf("unparsable value in %q: %v", line, err)
+			}
+			if _, dup := vals[line[:cut]]; dup {
+				t.Fatalf("duplicate series %q", line[:cut])
+			}
+			vals[line[:cut]] = v
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+
+	before := scrape()
+	if before[`tsmod_build_info{version="metrics-test"}`] != 1 {
+		t.Error("missing build info")
+	}
+
+	sub := decodeBody[SubmitResponse](t, postJob(t, base, smallSpec()))
+	waitHTTPState(t, base, sub.ID, StateDone)
+	mid := scrape()
+	after := scrape()
+
+	if mid["tsmod_jobs_submitted_total"] != 1 || mid[`tsmod_jobs_completed_total{state="done"}`] != 1 {
+		t.Errorf("lifecycle counters: submitted=%g completed=%g",
+			mid["tsmod_jobs_submitted_total"], mid[`tsmod_jobs_completed_total{state="done"}`])
+	}
+	for _, h := range []string{"tsmod_job_queue_wait_seconds", "tsmod_job_duration_seconds", "tsmod_job_first_point_seconds"} {
+		if mid[h+"_count"] != 1 {
+			t.Errorf("%s_count = %g, want 1", h, mid[h+"_count"])
+		}
+	}
+	if mid["tsmo_search_evaluations_total"] <= 0 {
+		t.Error("aggregated solver counters missing after the job completed")
+	}
+	// Monotonicity across scrapes (the job folded between before and mid).
+	for series, v := range mid {
+		if prev, ok := before[series]; ok && strings.HasSuffix(strings.SplitN(series, "{", 2)[0], "_total") && v < prev {
+			t.Errorf("counter %s went backwards: %g -> %g", series, prev, v)
+		}
+		if later, ok := after[series]; ok && strings.HasSuffix(strings.SplitN(series, "{", 2)[0], "_total") && later < v {
+			t.Errorf("counter %s went backwards: %g -> %g", series, v, later)
+		}
+	}
+}

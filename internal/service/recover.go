@@ -24,6 +24,7 @@ func Open(cfg Config) (*Service, error) {
 		stop: make(chan struct{}),
 		jobs: make(map[string]*Job),
 		idem: make(map[string]string),
+		met:  newSvcMetrics(),
 	}
 	var requeue []*Job
 	if cfg.DataDir != "" {

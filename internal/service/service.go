@@ -29,6 +29,7 @@ import (
 	"repro/internal/deme"
 	"repro/internal/resultio"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Submission failure modes, mapped to HTTP statuses by the handlers.
@@ -81,6 +82,13 @@ type Config struct {
 	Version string
 	// Logger, when non-nil, receives job lifecycle log lines.
 	Logger *slog.Logger
+	// TraceDir, when set, exports each terminal job's span recording as
+	// OTLP/JSON to <TraceDir>/<job-id>.trace.json.
+	TraceDir string
+	// TraceCollector, when set, POSTs each terminal job's spans to this
+	// OTLP/HTTP endpoint (e.g. http://collector:4318/v1/traces). Export
+	// failures are logged, never fatal.
+	TraceCollector string
 }
 
 func (c *Config) applyDefaults() {
@@ -134,6 +142,10 @@ type Service struct {
 	jl   *journal
 	torn int
 
+	// met backs GET /metrics: lifecycle counters, SLO histograms, and the
+	// monotone cross-job aggregation of solver telemetry.
+	met *svcMetrics
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	order     []string // submission order, for listing and eviction
@@ -165,6 +177,7 @@ func New(cfg Config) *Service {
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	j, err := newJob(spec, &s.cfg)
 	if err != nil {
+		s.met.reject("invalid")
 		return nil, err
 	}
 	j.svc = s
@@ -173,6 +186,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		j.cancel()
+		s.met.reject("draining")
 		return nil, ErrDraining
 	}
 	if key := spec.IdempotencyKey; key != "" {
@@ -190,6 +204,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		j.cancel()
+		s.met.reject("queue_full")
 		return nil, ErrQueueFull
 	}
 	s.nextID++
@@ -205,9 +220,15 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		if err != nil {
 			s.mu.Unlock()
 			j.cancel()
+			s.met.reject("storage")
 			return nil, fmt.Errorf("%w: %v", ErrStorage, err)
 		}
 	}
+	// The queue span opens once the job is durably accepted; begin() ends
+	// it when a worker picks the job up (terminalLocked covers jobs
+	// canceled while still queued). Safe without j.mu: the job becomes
+	// reachable only via the registration below.
+	j.queueSpan = j.tr.Start(j.rootSpan, "queue")
 	// Register the job completely before it becomes runnable: once the
 	// channel send succeeds a worker may dequeue it immediately, so the
 	// send must happen-after the ID/submitted writes, the "queued" event,
@@ -225,6 +246,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	s.queue <- j
 	s.evictLocked()
 	s.mu.Unlock()
+	s.met.submit()
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("job queued", "job", j.ID, "instance", j.instName,
 			"algorithm", j.alg.String(), "processors", j.cfg.Processors, "backend", j.backend)
@@ -260,6 +282,7 @@ func (s *Service) evictLocked() {
 					s.logWarn("evict: removing job dir", "job", id, "error", err)
 				}
 			}
+			s.met.forget(id)
 			terminal--
 			continue
 		}
@@ -428,6 +451,31 @@ func (s *Service) persistTerminal(j *Job, state State) {
 	}
 	if err := s.jl.append(journalRecord{Type: string(state), Job: j.ID, Error: j.errText}); err != nil {
 		s.logWarn("journal: terminal record", "job", j.ID, "state", string(state), "error", err)
+	}
+}
+
+// exportTrace ships a terminal job's span recording to the configured
+// sinks: an OTLP/JSON file under Config.TraceDir and/or an OTLP/HTTP
+// collector. Called exactly once per job from terminalLocked (the job's
+// doneOnce), after the lifecycle spans are sealed; failures are logged
+// and never affect the job's outcome.
+func (s *Service) exportTrace(j *Job) {
+	if s.cfg.TraceDir == "" && s.cfg.TraceCollector == "" {
+		return
+	}
+	if s.cfg.TraceDir != "" {
+		err := os.MkdirAll(s.cfg.TraceDir, 0o755)
+		if err == nil {
+			err = trace.ExportFile(filepath.Join(s.cfg.TraceDir, j.ID+".trace.json"), "tsmod", j.tr)
+		}
+		if err != nil {
+			s.logWarn("exporting trace file", "job", j.ID, "error", err)
+		}
+	}
+	if s.cfg.TraceCollector != "" {
+		if err := trace.PostOTLP(s.cfg.TraceCollector, "tsmod", nil, j.tr); err != nil {
+			s.logWarn("posting trace to collector", "job", j.ID, "error", err)
+		}
 	}
 }
 

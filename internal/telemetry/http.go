@@ -71,6 +71,10 @@ func Serve(addr string, t *Telemetry) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(current.Load().Snapshot()) //nolint:errcheck // diagnostics endpoint
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, current.Load()) //nolint:errcheck // diagnostics endpoint
+	})
 	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSamplesCoverGroups(t *testing.T) {
+	tel := New(nil, nil)
+	tel.Search.Iterations.Add(7)
+	tel.Operators().Get("2opt*").Propose()
+	samples := tel.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if seen[s.Key()] {
+			t.Errorf("duplicate series %s", s.Key())
+		}
+		seen[s.Key()] = true
+		if !strings.HasPrefix(s.Name, "tsmo_") {
+			t.Errorf("sample %q lacks the tsmo_ prefix", s.Name)
+		}
+	}
+	for _, want := range []string{
+		"tsmo_search_iterations_total",
+		"tsmo_search_restarts_total{trigger=no_candidate}",
+		"tsmo_async_decision_total{reason=timeout}",
+		"tsmo_store_accepts_total{memory=nondom}",
+		"tsmo_delta_evals_total{path=fast}",
+		"tsmo_faults_injected_total{kind=crash}",
+		"tsmo_fault_recovery_total{kind=recv_timeout}",
+		"tsmo_checkpoint_snapshots_total",
+		"tsmo_operator_proposed_total{op=2opt*}",
+	} {
+		if !seen[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+
+	var nilTel *Telemetry
+	if nilTel.Samples() != nil {
+		t.Error("nil telemetry produced samples")
+	}
+}
+
+func TestWritePromSamplesFormat(t *testing.T) {
+	tel := New(nil, nil)
+	tel.Search.Iterations.Add(3)
+	var buf bytes.Buffer
+	if err := WritePromSamples(&buf, tel.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE tsmo_search_iterations_total counter\n") {
+		t.Error("missing TYPE header")
+	}
+	if !strings.Contains(out, "tsmo_search_iterations_total 3\n") {
+		t.Error("missing sample line")
+	}
+	// One TYPE header per family, even for multi-sample families.
+	if n := strings.Count(out, "# TYPE tsmo_search_restarts_total "); n != 1 {
+		t.Errorf("restarts family has %d TYPE headers, want 1", n)
+	}
+	// Every line must be a comment or a well-formed sample.
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if types[f[2]] {
+				t.Errorf("duplicate TYPE for %s", f[2])
+			}
+			types[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("non-numeric value on %q", line)
+		}
+		name := line[:i]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		if !types[name] {
+			t.Errorf("sample %q precedes its TYPE header", line)
+		}
+	}
+}
+
+func TestWritePromHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 3, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePromHistogram(&buf, "tsmo_test_seconds", "help.", h.Snapshot(), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE tsmo_test_seconds histogram\n") {
+		t.Fatal("missing histogram TYPE")
+	}
+	// Buckets are cumulative and monotone, and +Inf equals _count.
+	var prev int64 = -1
+	var inf, count int64 = -1, -1
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "tsmo_test_seconds_bucket{le=\"+Inf\"}"):
+			inf, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		case strings.HasPrefix(line, "tsmo_test_seconds_bucket"):
+			v, _ := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if v < prev {
+				t.Errorf("bucket counts not monotone: %s", out)
+			}
+			prev = v
+		case strings.HasPrefix(line, "tsmo_test_seconds_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if inf != 5 || count != 5 {
+		t.Errorf("+Inf bucket %d, _count %d, want both 5:\n%s", inf, count, out)
+	}
+	if !strings.Contains(out, "tsmo_test_seconds_sum 1.007e-06\n") {
+		t.Errorf("sum line wrong:\n%s", out)
+	}
+}
+
+func TestWritePromGauge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromGauge(&buf, "tsmo_build_info", "Build metadata.",
+		[][2]string{{"version", "v1.2.3"}, {"go", "go1.22"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP tsmo_build_info Build metadata.\n# TYPE tsmo_build_info gauge\n" +
+		`tsmo_build_info{version="v1.2.3",go="go1.22"} 1` + "\n"
+	if buf.String() != want {
+		t.Errorf("gauge exposition:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

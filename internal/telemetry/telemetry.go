@@ -92,15 +92,25 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()
 // stored with nanosecond resolution.
 func (h *Histogram) ObserveSeconds(s float64) { h.Observe(int64(s * 1e9)) }
 
+// HistogramBucket is one non-empty histogram bucket with its explicit
+// upper bound, so downstream quantile math needs no knowledge of the
+// power-of-two bucketing scheme. Upper is the exclusive bound 2^k of the
+// bucket holding 2^(k-1) <= v < 2^k, with two sentinels: Upper == 0 is
+// the inclusive v <= 0 bucket, and Upper == math.MaxInt64 is the overflow
+// bucket for values with no in-range power-of-two bound.
+type HistogramBucket struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram, JSON-ready.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   int64   `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Max   int64   `json:"max"`
-	// Buckets maps the exclusive power-of-two upper bound to the number
-	// of observations below it (only non-empty buckets are listed).
-	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// Buckets lists the non-empty buckets in increasing Upper order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting.
@@ -114,37 +124,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if n == 0 {
 			continue
 		}
-		if s.Buckets == nil {
-			s.Buckets = make(map[string]int64)
-		}
-		s.Buckets[bucketLabel(k)] = n
+		s.Buckets = append(s.Buckets, HistogramBucket{Upper: bucketUpper(k), Count: n})
 	}
 	return s
 }
 
-func bucketLabel(k int) string {
+// bucketUpper maps a bucket index to its explicit upper bound.
+func bucketUpper(k int) int64 {
 	if k == 0 {
-		return "le_0"
+		return 0
 	}
 	if k >= 63 {
-		return "le_inf"
+		return math.MaxInt64
 	}
-	return "lt_" + itoa(int64(1)<<k)
-}
-
-// itoa avoids strconv in this file's import set; snapshots are cold path.
-func itoa(v int64) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return int64(1) << k
 }
 
 // SearchStats instruments one run's searchers (Algorithm 1): iteration and

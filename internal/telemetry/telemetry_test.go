@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -55,20 +56,27 @@ func TestHistogramBuckets(t *testing.T) {
 	if s.Max != 1000 {
 		t.Errorf("Max = %d, want 1000", s.Max)
 	}
-	want := map[string]int64{
-		"le_0":    2, // -1, 0
-		"lt_2":    1, // 1
-		"lt_4":    2, // 2, 3
-		"lt_8":    1, // 4
-		"lt_1024": 1, // 1000
-	}
-	for k, n := range want {
-		if s.Buckets[k] != n {
-			t.Errorf("bucket %s = %d, want %d (all: %v)", k, s.Buckets[k], n, s.Buckets)
-		}
+	want := []HistogramBucket{
+		{Upper: 0, Count: 2},    // -1, 0
+		{Upper: 2, Count: 1},    // 1
+		{Upper: 4, Count: 2},    // 2, 3
+		{Upper: 8, Count: 1},    // 4
+		{Upper: 1024, Count: 1}, // 1000
 	}
 	if len(s.Buckets) != len(want) {
-		t.Errorf("unexpected extra buckets: %v", s.Buckets)
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	// The explicit bounds must arrive strictly increasing so downstream
+	// quantile math can consume them without re-sorting.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Upper <= s.Buckets[i-1].Upper {
+			t.Errorf("bucket bounds not increasing: %v", s.Buckets)
+		}
 	}
 }
 
@@ -82,15 +90,15 @@ func TestHistogramDurations(t *testing.T) {
 	}
 }
 
-func TestBucketLabel(t *testing.T) {
-	if got := bucketLabel(0); got != "le_0" {
-		t.Errorf("bucketLabel(0) = %q", got)
+func TestBucketUpper(t *testing.T) {
+	if got := bucketUpper(0); got != 0 {
+		t.Errorf("bucketUpper(0) = %d", got)
 	}
-	if got := bucketLabel(10); got != "lt_1024" {
-		t.Errorf("bucketLabel(10) = %q", got)
+	if got := bucketUpper(10); got != 1024 {
+		t.Errorf("bucketUpper(10) = %d", got)
 	}
-	if got := bucketLabel(64); got != "le_inf" {
-		t.Errorf("bucketLabel(64) = %q", got)
+	if got := bucketUpper(64); got != math.MaxInt64 {
+		t.Errorf("bucketUpper(64) = %d", got)
 	}
 }
 

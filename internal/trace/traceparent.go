@@ -1,0 +1,65 @@
+package trace
+
+import "encoding/hex"
+
+// ParseTraceparent parses a W3C traceparent header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// Only version 00 is accepted. The all-zero trace or span ID is invalid
+// per the spec and rejected.
+func ParseTraceparent(h string) (TraceID, SpanID, byte, bool) {
+	var tid TraceID
+	var sid SpanID
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, 0, false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return tid, sid, 0, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return tid, sid, 0, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil {
+		return tid, sid, 0, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(h[53:55])); err != nil {
+		return tid, sid, 0, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return tid, sid, 0, false
+	}
+	return tid, sid, fb[0], true
+}
+
+// Traceparent renders the header value that continues this trace from the
+// given span, for injection into outgoing requests or responses. A nil
+// span yields a header rooted at the trace itself (remote parent), and a
+// nil trace yields "".
+func (t *Trace) Traceparent(s *Span) string {
+	if t == nil {
+		return ""
+	}
+	sid := t.remote
+	if s != nil {
+		sid = s.id
+	}
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hexAppend(b, t.id[:])
+	b = append(b, '-')
+	b = hexAppend(b, sid[:])
+	b = append(b, '-')
+	b = hexAppend(b, []byte{t.flags | 0x01})
+	return string(b)
+}
+
+func hexAppend(dst, src []byte) []byte {
+	const digits = "0123456789abcdef"
+	for _, c := range src {
+		dst = append(dst, digits[c>>4], digits[c&0x0f])
+	}
+	return dst
+}

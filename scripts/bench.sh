@@ -5,6 +5,9 @@
 #                          iteration on a 400-customer instance)
 #   BENCH_telemetry.json — disabled- vs enabled-telemetry searcher
 #                          iteration and the relative overhead
+#   BENCH_trace.json     — disabled- vs enabled-tracing searcher iteration
+#                          (a live span over the batched sweep path) and
+#                          the relative overhead (<=3% target)
 #   BENCH_service.json   — solver-service load generator: p50/p99 submit-to-
 #                          first-point latency and jobs/min with the queue
 #                          saturated (scripts/loadgen)
@@ -39,7 +42,8 @@ archive() {
 }
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+TMPTRACE=$(mktemp)
+trap 'rm -f "$TMP" "$TMPTRACE"' EXIT
 
 go test -run '^$' -bench 'BenchmarkDeltaVsApply|BenchmarkCandidates|BenchmarkNeighborhood' \
   -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/operators/ | tee -a "$TMP"
@@ -87,6 +91,48 @@ awk '
     printf "}\n"
   }' "$TMP" > BENCH_telemetry.json
 echo "wrote BENCH_telemetry.json"
+
+# The trace overhead report: the searcher iteration with tracing disabled
+# (nil trace — the production default) against the same iteration running
+# under a live phase span, the configuration every in-job sweep batch sees.
+# The two sit within single-run jitter of each other, so this pair is run
+# TRACECOUNT times (default 5) and the medians are compared. The tracked
+# target is <=3% enabled overhead; the disabled path is additionally gated
+# to zero extra allocations by TestSearcherIterationTraceAllocs
+# (make allocs).
+go test -run '^$' -bench '^BenchmarkSearcherIteration$|^BenchmarkSearcherIterationTrace$' \
+  -benchmem -benchtime "${BENCHTIME:-1s}" -count "${TRACECOUNT:-5}" ./internal/core/ | tee "$TMPTRACE"
+archive BENCH_trace.json
+awk '
+  function median(v, n,   i) {
+    # insertion sort; n is tiny
+    for (i = 2; i <= n; i++) {
+      x = v[i]; j = i - 1
+      while (j > 0 && v[j] > x) { v[j+1] = v[j]; j-- }
+      v[j+1] = x
+    }
+    return (n % 2) ? v[(n+1)/2] : (v[n/2] + v[n/2+1]) / 2
+  }
+  /^BenchmarkSearcherIteration-|^BenchmarkSearcherIteration / {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") dns[++dn] = $(i-1); if ($i == "allocs/op") da = $(i-1) }
+  }
+  /^BenchmarkSearcherIterationTrace-|^BenchmarkSearcherIterationTrace / {
+    for (i = 2; i <= NF; i++) { if ($i == "ns/op") ens[++en] = $(i-1); if ($i == "allocs/op") ea = $(i-1) }
+  }
+  END {
+    if (dn == 0 || en == 0) { print "missing searcher trace benchmarks" > "/dev/stderr"; exit 1 }
+    dmed = median(dns, dn); emed = median(ens, en)
+    pct = (emed - dmed) / dmed * 100
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSearcherIteration (R1, N=400), median of %d\",\n", dn
+    printf "  \"disabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", dmed, da
+    printf "  \"enabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", emed, ea
+    printf "  \"enabled_overhead_pct\": %.2f,\n", pct
+    printf "  \"target_max_overhead_pct\": 3,\n"
+    printf "  \"within_target\": %s\n", (pct <= 3) ? "true" : "false"
+    printf "}\n"
+  }' "$TMPTRACE" > BENCH_trace.json
+echo "wrote BENCH_trace.json"
 
 # The checkpoint overhead report: a complete sequential run with durable
 # checkpointing off against the same run snapshotting at the service's

@@ -35,6 +35,8 @@ type report struct {
 	Rejected429 int     `json:"submit_rejections_429"`
 	P50FirstMs  float64 `json:"p50_submit_to_first_point_ms"`
 	P99FirstMs  float64 `json:"p99_submit_to_first_point_ms"`
+	P50QueueMs  float64 `json:"p50_queue_wait_ms"`
+	P99QueueMs  float64 `json:"p99_queue_wait_ms"`
 	JobsPerMin  float64 `json:"jobs_per_min_at_saturation"`
 	ElapsedSecs float64 `json:"elapsed_seconds"`
 }
@@ -74,10 +76,11 @@ func run(jobs, workers, queue, concurrency, evals, n int) error {
 	base := "http://" + ln.Addr().String()
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		rejected  int
-		firstErr  error
+		mu         sync.Mutex
+		latencies  []float64
+		queueWaits []float64
+		rejected   int
+		firstErr   error
 	)
 	next := make(chan int)
 	go func() {
@@ -93,13 +96,14 @@ func run(jobs, workers, queue, concurrency, evals, n int) error {
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				lat, rej, err := pushJob(base, evals, n, uint64(i+1))
+				lat, qw, rej, err := pushJob(base, evals, n, uint64(i+1))
 				mu.Lock()
 				rejected += rej
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("job %d: %w", i, err)
 				} else if err == nil {
 					latencies = append(latencies, lat.Seconds()*1000)
+					queueWaits = append(queueWaits, qw.Seconds()*1000)
 				}
 				mu.Unlock()
 				if err != nil {
@@ -114,6 +118,7 @@ func run(jobs, workers, queue, concurrency, evals, n int) error {
 		return firstErr
 	}
 	sort.Float64s(latencies)
+	sort.Float64s(queueWaits)
 	rep := report{
 		Jobs:        jobs,
 		Workers:     workers,
@@ -124,6 +129,8 @@ func run(jobs, workers, queue, concurrency, evals, n int) error {
 		Rejected429: rejected,
 		P50FirstMs:  percentile(latencies, 0.50),
 		P99FirstMs:  percentile(latencies, 0.99),
+		P50QueueMs:  percentile(queueWaits, 0.50),
+		P99QueueMs:  percentile(queueWaits, 0.99),
 		JobsPerMin:  float64(len(latencies)) / elapsed.Minutes(),
 		ElapsedSecs: elapsed.Seconds(),
 	}
@@ -134,8 +141,11 @@ func run(jobs, workers, queue, concurrency, evals, n int) error {
 
 // pushJob submits one job (retrying on 429 backpressure, honoring the
 // Retry-After hint) and follows its event stream to completion. It returns
-// the submit-to-first-accepted-point latency and the 429 count.
-func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error) {
+// the submit-to-first-accepted-point latency, the queue wait reported by
+// the job's final status (StartedAt - SubmittedAt — the same quantity the
+// daemon's tsmod_job_queue_wait_seconds histogram observes), and the 429
+// count.
+func pushJob(base string, evals, n int, seed uint64) (time.Duration, time.Duration, int, error) {
 	spec := service.JobSpec{
 		Instance:       service.InstanceSpec{Class: "R1", N: n, Seed: 3},
 		MaxEvaluations: evals,
@@ -143,7 +153,7 @@ func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error)
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	rejected := 0
 	var id string
@@ -152,7 +162,7 @@ func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error)
 		submitted = time.Now()
 		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return 0, rejected, err
+			return 0, 0, rejected, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			rejected++
@@ -168,10 +178,10 @@ func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error)
 		err = json.NewDecoder(resp.Body).Decode(&sub)
 		resp.Body.Close()
 		if err != nil {
-			return 0, rejected, err
+			return 0, 0, rejected, err
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return 0, rejected, fmt.Errorf("submit: %s", resp.Status)
+			return 0, 0, rejected, fmt.Errorf("submit: %s", resp.Status)
 		}
 		id = sub.ID
 		break
@@ -179,7 +189,7 @@ func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error)
 
 	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
 	if err != nil {
-		return 0, rejected, err
+		return 0, 0, rejected, err
 	}
 	defer resp.Body.Close()
 	var firstPoint time.Duration
@@ -195,12 +205,34 @@ func pushJob(base string, evals, n int, seed uint64) (time.Duration, int, error)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return 0, rejected, err
+		return 0, 0, rejected, err
 	}
 	if firstPoint == 0 {
-		return 0, rejected, fmt.Errorf("job %s finished without an accepted point", id)
+		return 0, 0, rejected, fmt.Errorf("job %s finished without an accepted point", id)
 	}
-	return firstPoint, rejected, nil
+	queueWait, err := fetchQueueWait(base, id)
+	if err != nil {
+		return 0, 0, rejected, err
+	}
+	return firstPoint, queueWait, rejected, nil
+}
+
+// fetchQueueWait reads the finished job's status and returns its time in
+// the queue: StartedAt - SubmittedAt, both stamped by the service.
+func fetchQueueWait(base, id string) (time.Duration, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.StartedAt == nil {
+		return 0, fmt.Errorf("job %s finished without a start time", id)
+	}
+	return st.StartedAt.Sub(st.SubmittedAt), nil
 }
 
 // percentile returns the pth (0..1) percentile of sorted values.

@@ -1,0 +1,474 @@
+// Command metricslint is the /metrics exposition gate: it builds and boots
+// a real tsmod daemon on an ephemeral port, pushes one small traced job
+// through the HTTP API, scrapes GET /metrics twice, and lints the
+// Prometheus text exposition (format 0.0.4):
+//
+//   - every line is a well-formed HELP, TYPE or sample line
+//   - exactly one TYPE per metric family, emitted before its samples,
+//     with the family's block contiguous
+//   - no duplicate series (same name and label set twice)
+//   - histogram families are complete and internally consistent: _bucket
+//     counts are cumulative and monotone in le order, le="+Inf" is present
+//     and equals _count, and _sum/_count exist
+//   - counter and histogram series never decrease between the two scrapes
+//
+// `make metrics-lint` runs it as part of `make verify`. Exit status is
+// non-zero on any lint finding, with one line per finding on stderr.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metrics exposition clean")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "metricslint")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "tsmod")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/tsmod")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building tsmod: %w", err)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "2")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting tsmod: %w", err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM) //nolint:errcheck // best-effort teardown
+		daemon.Wait()                          //nolint:errcheck
+	}()
+
+	addr, err := waitForAddr(stderr)
+	if err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, stderr) //nolint:errcheck // drain the daemon's log
+	base := "http://" + addr
+
+	if err := runJob(base); err != nil {
+		return err
+	}
+	first, err := scrape(base)
+	if err != nil {
+		return err
+	}
+	findings := lint(first)
+	second, err := scrape(base)
+	if err != nil {
+		return err
+	}
+	findings = append(findings, lint(second)...)
+	findings = append(findings, lintMonotone(first, second)...)
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "metricslint:", f)
+		}
+		return fmt.Errorf("%d exposition finding(s)", len(findings))
+	}
+	return nil
+}
+
+// waitForAddr reads the daemon's stderr until the "tsmod listening" slog
+// line appears and returns the bound address from its addr attribute.
+var addrRe = regexp.MustCompile(`msg="tsmod listening" addr=([0-9.:]+)`)
+
+func waitForAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			return m[1], nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("tsmod never logged its listen address")
+}
+
+// runJob submits one small traced job and waits for it to finish, so the
+// scrape covers the whole metric surface: SLO histograms, completion
+// counters and the aggregated solver counters.
+func runJob(base string) error {
+	spec := map[string]any{
+		"instance":        map[string]any{"class": "R1", "n": 30, "seed": 3},
+		"max_evaluations": 2000,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			FinishedAt *time.Time `json:"finished_at"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.FinishedAt != nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s never finished", sub.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func scrape(base string) (*exposition, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("GET /metrics: content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parse(string(data))
+}
+
+// exposition is one parsed scrape: families in document order plus the
+// flat series map used by the duplicate and monotonicity checks.
+type exposition struct {
+	order    []string
+	families map[string]*family
+	series   map[string]float64 // "name{labels}" -> value
+	malform  []string           // parse-level findings
+}
+
+type family struct {
+	name    string
+	typ     string
+	hasHelp bool
+	samples []sample
+}
+
+type sample struct {
+	name   string // full sample name, e.g. family_bucket
+	labels map[string]string
+	key    string // canonical series identity
+	value  float64
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)`)
+)
+
+func parse(text string) (*exposition, error) {
+	e := &exposition{families: map[string]*family{}, series: map[string]float64{}}
+	for i, line := range strings.Split(text, "\n") {
+		lno := i + 1
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			e.family(m[1]).hasHelp = true
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			f := e.family(m[1])
+			if f.typ != "" {
+				e.malform = append(e.malform, fmt.Sprintf("line %d: duplicate TYPE for family %s", lno, m[1]))
+			}
+			if len(f.samples) > 0 {
+				e.malform = append(e.malform, fmt.Sprintf("line %d: TYPE for %s after its samples", lno, m[1]))
+			}
+			f.typ = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			e.malform = append(e.malform, fmt.Sprintf("line %d: unparseable comment %q", lno, line))
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			e.malform = append(e.malform, fmt.Sprintf("line %d: malformed sample line %q", lno, line))
+			continue
+		}
+		labels, ok := parseLabels(m[2])
+		if !ok {
+			e.malform = append(e.malform, fmt.Sprintf("line %d: malformed label set %q", lno, m[2]))
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			e.malform = append(e.malform, fmt.Sprintf("line %d: bad sample value %q", lno, m[3]))
+			continue
+		}
+		s := sample{name: m[1], labels: labels, key: seriesKey(m[1], labels), value: v}
+		f := e.family(familyOf(e, m[1]))
+		f.samples = append(f.samples, s)
+		if _, dup := e.series[s.key]; dup {
+			e.malform = append(e.malform, fmt.Sprintf("line %d: duplicate series %s", lno, s.key))
+		}
+		e.series[s.key] = v
+	}
+	return e, nil
+}
+
+// familyOf maps a sample name to its family: _bucket/_sum/_count fold into
+// a declared histogram family, everything else is its own.
+func familyOf(e *exposition, name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := e.families[base]; ok && f.typ == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func (e *exposition) family(name string) *family {
+	f, ok := e.families[name]
+	if !ok {
+		f = &family{name: name}
+		e.families[name] = f
+		e.order = append(e.order, name)
+	}
+	return f
+}
+
+func parseLabels(s string) (map[string]string, bool) {
+	if s == "" {
+		return nil, true
+	}
+	s = strings.TrimPrefix(strings.TrimSuffix(s, "}"), "{")
+	out := map[string]string{}
+	for s != "" {
+		m := labelRe.FindStringSubmatch(s)
+		if m == nil {
+			return nil, false
+		}
+		if _, dup := out[m[1]]; dup {
+			return nil, false
+		}
+		out[m[1]] = m[2]
+		s = s[len(m[0]):]
+	}
+	return out, true
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lint checks one scrape for structural findings.
+func lint(e *exposition) []string {
+	findings := append([]string(nil), e.malform...)
+	for _, name := range e.order {
+		f := e.families[name]
+		if len(f.samples) == 0 {
+			continue // headers only; harmless
+		}
+		if f.typ == "" {
+			findings = append(findings, fmt.Sprintf("family %s has samples but no TYPE", name))
+			continue
+		}
+		if !f.hasHelp {
+			findings = append(findings, fmt.Sprintf("family %s has no HELP", name))
+		}
+		switch f.typ {
+		case "counter":
+			for _, s := range f.samples {
+				if s.value < 0 || math.IsNaN(s.value) || math.IsInf(s.value, 0) {
+					findings = append(findings, fmt.Sprintf("counter %s has invalid value %v", s.key, s.value))
+				}
+			}
+		case "histogram":
+			findings = append(findings, lintHistogram(f)...)
+		}
+	}
+	return findings
+}
+
+// lintHistogram checks one histogram family: bucket counts cumulative and
+// monotone in le order, le="+Inf" present and equal to _count, _sum and
+// _count present.
+func lintHistogram(f *family) []string {
+	var findings []string
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var (
+		buckets           []bucket
+		infCount          float64
+		sawInf            bool
+		count, sum        float64
+		sawCount, sawSum  bool
+		bucketOrderBroken bool
+	)
+	for _, s := range f.samples {
+		switch s.name {
+		case f.name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				findings = append(findings, fmt.Sprintf("histogram %s bucket without le label", f.name))
+				continue
+			}
+			if le == "+Inf" {
+				sawInf = true
+				infCount = s.value
+				continue
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				findings = append(findings, fmt.Sprintf("histogram %s has unparseable le=%q", f.name, le))
+				continue
+			}
+			buckets = append(buckets, bucket{le: v, count: s.value})
+		case f.name + "_count":
+			sawCount, count = true, s.value
+		case f.name + "_sum":
+			sawSum, sum = true, s.value
+		default:
+			findings = append(findings, fmt.Sprintf("histogram %s has stray sample %s", f.name, s.name))
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			bucketOrderBroken = true
+			findings = append(findings, fmt.Sprintf("histogram %s buckets out of le order (%g after %g)",
+				f.name, buckets[i].le, buckets[i-1].le))
+		}
+		if buckets[i].count < buckets[i-1].count {
+			findings = append(findings, fmt.Sprintf("histogram %s cumulative bucket counts decrease at le=%g (%g < %g)",
+				f.name, buckets[i].le, buckets[i].count, buckets[i-1].count))
+		}
+	}
+	switch {
+	case !sawInf:
+		findings = append(findings, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", f.name))
+	case !sawCount:
+		findings = append(findings, fmt.Sprintf("histogram %s missing _count", f.name))
+	case infCount != count:
+		findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g != _count %g", f.name, infCount, count))
+	}
+	if !sawSum {
+		findings = append(findings, fmt.Sprintf("histogram %s missing _sum", f.name))
+	} else if math.IsNaN(sum) {
+		findings = append(findings, fmt.Sprintf("histogram %s _sum is NaN", f.name))
+	}
+	if !bucketOrderBroken && len(buckets) > 0 && sawInf && infCount < buckets[len(buckets)-1].count {
+		findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g below last finite bucket %g",
+			f.name, infCount, buckets[len(buckets)-1].count))
+	}
+	return findings
+}
+
+// lintMonotone checks that no cumulative series (counters, histogram
+// buckets/sums/counts) decreased between two consecutive scrapes of the
+// same process. Gauges are exempt.
+func lintMonotone(first, second *exposition) []string {
+	var findings []string
+	for _, name := range first.order {
+		f := first.families[name]
+		if f.typ != "counter" && f.typ != "histogram" {
+			continue
+		}
+		for _, s := range f.samples {
+			after, ok := second.series[s.key]
+			if !ok {
+				findings = append(findings, fmt.Sprintf("cumulative series %s vanished between scrapes", s.key))
+				continue
+			}
+			if after < s.value {
+				findings = append(findings, fmt.Sprintf("cumulative series %s decreased between scrapes (%g -> %g)",
+					s.key, s.value, after))
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) *exposition {
+	t.Helper()
+	e, err := parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const cleanExpo = `# HELP tsmod_jobs_submitted_total jobs submitted.
+# TYPE tsmod_jobs_submitted_total counter
+tsmod_jobs_submitted_total 3
+# HELP tsmod_queue_len queued jobs.
+# TYPE tsmod_queue_len gauge
+tsmod_queue_len 1
+# HELP tsmod_job_duration_seconds submit-to-terminal latency.
+# TYPE tsmod_job_duration_seconds histogram
+tsmod_job_duration_seconds_bucket{le="0.5"} 1
+tsmod_job_duration_seconds_bucket{le="1"} 2
+tsmod_job_duration_seconds_bucket{le="+Inf"} 3
+tsmod_job_duration_seconds_sum 2.25
+tsmod_job_duration_seconds_count 3
+# HELP tsmo_store_accepts_total store accepts.
+# TYPE tsmo_store_accepts_total counter
+tsmo_store_accepts_total{memory="archive"} 10
+tsmo_store_accepts_total{memory="nondom"} 7
+`
+
+func TestLintCleanExposition(t *testing.T) {
+	if findings := lint(mustParse(t, cleanExpo)); len(findings) != 0 {
+		t.Fatalf("clean exposition produced findings: %v", findings)
+	}
+}
+
+// TestLintCatches pins one finding per lint rule, so a green run means
+// the rules actually fired on a real scrape, not that the linter is blind.
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"malformed line", "# TYPE a counter\na 1\ngarbage line here extra\n", "malformed sample"},
+		{"missing type", "# HELP a help.\na 1\n", "no TYPE"},
+		{"missing help", "# TYPE a counter\na 1\n", "no HELP"},
+		{"duplicate type", "# HELP a h.\n# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"duplicate series", "# HELP a h.\n# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate series"},
+		{"negative counter", "# HELP a h.\n# TYPE a counter\na -1\n", "invalid value"},
+		{
+			"non-monotone buckets",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 4\nh_count 5\n",
+			"counts decrease",
+		},
+		{
+			"inf mismatch",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 4\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"missing inf",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 4\nh_count 5\n",
+			"missing le=\"+Inf\"",
+		},
+		{
+			"missing sum",
+			"# HELP h h.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings := lint(mustParse(t, tc.text))
+			for _, f := range findings {
+				if strings.Contains(f, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a finding containing %q, got %v", tc.want, findings)
+		})
+	}
+}
+
+func TestLintMonotoneAcrossScrapes(t *testing.T) {
+	a := mustParse(t, cleanExpo)
+	b := mustParse(t, strings.Replace(cleanExpo, "tsmod_jobs_submitted_total 3", "tsmod_jobs_submitted_total 2", 1))
+	findings := lintMonotone(a, b)
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "decreased between scrapes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter regression not flagged: %v", findings)
+	}
+	// Gauges may move freely; identical scrapes are clean.
+	if f := lintMonotone(a, mustParse(t, cleanExpo)); len(f) != 0 {
+		t.Fatalf("identical scrapes flagged: %v", f)
+	}
+	down := strings.Replace(cleanExpo, "tsmod_queue_len 1", "tsmod_queue_len 0", 1)
+	if f := lintMonotone(a, mustParse(t, down)); len(f) != 0 {
+		t.Fatalf("gauge decrease flagged as regression: %v", f)
+	}
+}
