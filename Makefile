@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e chaos fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e chaos cluster-e2e flaky-guard fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -22,7 +22,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/deme/...
+	$(GO) test -race ./internal/core/... ./internal/deme/... ./internal/cluster/...
+	$(GO) test -race -count 1 -run 'TestShareSSEFanoutRace|TestShareIngressConcurrentSubscribers' ./internal/service/
 
 # allocs asserts the observability overhead contract: disabled-path
 # telemetry and tracing calls allocate nothing, and a full searcher
@@ -78,12 +79,32 @@ chaos:
 	  ./internal/core/
 	$(GO) test -race -count 1 -run 'TestFaulty|TestParseFaultPlans|TestGoroutineAlive' ./internal/deme/
 
+# cluster-e2e runs the multi-node acceptance suite under the race
+# detector: the 3-node collaborative-share golden (bit-identical replay,
+# merged front dominates a same-budget single node), the kill-a-member
+# migration chaos test, coordinator partition handling, work stealing, and
+# the share fan-out/ingress race tests on the node side.
+cluster-e2e:
+	$(GO) test -race -count 1 -v \
+	  -run 'TestClusterShareGolden|TestClusterShareDominatesSingleNode|TestClusterKillMemberMigrates|TestCoordinatorPartition|TestClusterSteal|TestMergeFronts|TestSubmitValidation' \
+	  ./internal/cluster/
+	$(GO) test -race -count 1 -run 'TestShareSSEFanoutRace|TestShareIngressConcurrentSubscribers' ./internal/service/
+
+# flaky-guard reruns the service and cluster e2e suites three times with a
+# shuffled test order to flush order- and timing-dependent failures. CI
+# runs it non-blocking and uploads flaky-guard.log as an artifact.
+flaky-guard:
+	$(GO) test -race -count 3 -shuffle on ./internal/service/ ./internal/cluster/ > flaky-guard.log 2>&1 \
+	  || (tail -n 100 flaky-guard.log; exit 1)
+	@tail -n 4 flaky-guard.log
+
 # fuzz-smoke runs each fuzz target for FUZZTIME (default 30s) on top of the
 # checked-in seed corpora.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaMatchesApply -fuzztime $(FUZZTIME) ./internal/operators/
 	$(GO) test -run '^$$' -fuzz FuzzFeasibilityGuard -fuzztime $(FUZZTIME) ./internal/operators/
+	$(GO) test -run '^$$' -fuzz FuzzClusterMessages -fuzztime $(FUZZTIME) ./internal/cluster/
 
 # bench refreshes BENCH_delta.json, BENCH_telemetry.json and
 # BENCH_service.json via scripts/bench.sh (prior numbers are archived to

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// TestClientAgainstCluster points tsmoctl at a real coordinator fronting
+// two in-process daemons over loopback HTTP: submit with -cluster-share
+// fans the job out, -wait polls the aggregate status to done, and the
+// cluster subcommand inspects membership, status and the merged result.
+func TestClientAgainstCluster(t *testing.T) {
+	// The node services dial shares through the coordinator, whose URL is
+	// only known once its listener is up — so the dialer resolves the base
+	// URL lazily at first use (after coordURL is set below).
+	var mu sync.Mutex
+	var coordURL string
+	dial := func(group string, shard, shards int, tel *telemetry.Telemetry) (service.ShareGatherer, error) {
+		mu.Lock()
+		base := coordURL
+		mu.Unlock()
+		return cluster.Dialer(base, http.DefaultClient)(group, shard, shards, tel)
+	}
+
+	var nodes []string
+	for i := 0; i < 2; i++ {
+		svc := service.New(service.Config{Workers: 2, CheckpointEvery: 10, ShareDial: dial})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			srv.Close()
+			svc.Close()
+		})
+		nodes = append(nodes, srv.URL)
+	}
+
+	coord := cluster.New(cluster.Config{Peers: nodes, RetryAfter: time.Second})
+	csrv := httptest.NewServer(coord.Handler())
+	t.Cleanup(csrv.Close)
+	mu.Lock()
+	coordURL = csrv.URL
+	mu.Unlock()
+
+	// The coordinator's tick loop (tsmod -cluster-listen runs the same
+	// thing on a timer).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				coord.Tick()
+			}
+		}
+	}()
+	t.Cleanup(func() { close(stop); wg.Wait() })
+
+	addr := strings.TrimPrefix(csrv.URL, "http://")
+	out, err := ctl(t, addr, "submit",
+		"-class", "R1", "-n", "60", "-evals", "6000", "-seed", "5",
+		"-cluster-share", "-shards", "2", "-share-every", "5", "-wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "job c000001 queued") {
+		t.Errorf("cluster submit output missing acceptance line:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster job c000001 done") {
+		t.Errorf("cluster wait never reported done:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0 done on ") || !strings.Contains(out, "shard 1 done on ") {
+		t.Errorf("cluster wait missing shard summary:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "cluster", "members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		if !strings.Contains(out, node) {
+			t.Errorf("cluster members missing %s:\n%s", node, out)
+		}
+	}
+
+	out, err = ctl(t, addr, "cluster", "status", "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"done"`) {
+		t.Errorf("cluster status not done:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "cluster", "result", "c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"solutions"`) {
+		t.Errorf("cluster result missing solutions:\n%s", out)
+	}
+
+	if _, err := ctl(t, addr, "cluster", "bogus"); err == nil {
+		t.Error("unknown cluster subcommand did not error")
+	}
+}

@@ -8,6 +8,13 @@
 //	tsmoctl result j000001 > front.json
 //	tsmoctl cancel j000001
 //	tsmoctl list
+//
+// Pointed at a coordinator (tsmod -cluster-listen), submit fans a job out
+// across the cluster and cluster inspects membership:
+//
+//	tsmoctl -server coord:8080 submit -class R1 -n 400 -cluster-share -shards 3 -wait
+//	tsmoctl -server coord:8080 cluster members
+//	tsmoctl -server coord:8080 cluster status c000001
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -48,6 +56,7 @@ commands:
   cancel   cancel a job
   list     list retained jobs
   health   print the daemon's health snapshot
+  cluster  coordinator queries: cluster members | status <id> | result <id>
 `
 
 // run parses the global flags and dispatches the subcommand. Split from
@@ -89,6 +98,8 @@ func run(args []string, out io.Writer) error {
 		return c.get("/v1/jobs")
 	case "health":
 		return c.get("/v1/healthz")
+	case "cluster":
+		return c.cluster(rest)
 	default:
 		global.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -155,6 +166,9 @@ func (c *client) submit(args []string) error {
 	fs.StringVar(&spec.Backend, "backend", "", "runtime backend: sim or goroutine (default sim)")
 	fs.IntVar(&spec.SampleEvery, "sample", 0, "record convergence samples every this many evaluations")
 	fs.StringVar(&spec.IdempotencyKey, "idem", "", "idempotency key (default: a fresh random key per invocation)")
+	clusterShare := fs.Bool("cluster-share", false, "coordinator submit: shards exchange archive-entering solutions across nodes")
+	shards := fs.Int("shards", 0, "coordinator submit: fan the job out to this many sibling shards")
+	fs.IntVar(&spec.ShareEvery, "share-every", 0, "cluster-share epoch length in master iterations (0 = solver default)")
 	wait := fs.Bool("wait", false, "follow the event stream until the job finishes")
 	retries := fs.Int("retries", 4, "transient-failure retries (429/503/5xx/network), exponential backoff")
 	if err := fs.Parse(args); err != nil {
@@ -176,7 +190,14 @@ func (c *client) submit(args []string) error {
 		// job already created instead of a duplicate.
 		spec.IdempotencyKey = randomKey()
 	}
-	body, err := json.Marshal(spec)
+	toCluster := *clusterShare || *shards > 0
+	var payload any = spec
+	if toCluster {
+		// A coordinator request: the same spec inside the cluster envelope.
+		// The coordinator assigns per-shard seeds, budgets and share fields.
+		payload = cluster.JobRequest{JobSpec: spec, ClusterShare: *clusterShare, Shards: *shards}
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}
@@ -198,9 +219,78 @@ func (c *client) submit(args []string) error {
 	}
 	fmt.Fprintf(c.out, "job %s %s\n", sub.ID, sub.State)
 	if *wait {
+		if toCluster {
+			return c.followCluster(sub.ID)
+		}
 		return c.follow(sub.ID, 0)
 	}
 	return nil
+}
+
+// followCluster polls a coordinator job until it is terminal, printing
+// aggregate state transitions and a final per-shard summary. Coordinators
+// have no SSE stream — shard events live on the member daemons — so the
+// cluster wait is a status poll.
+func (c *client) followCluster(id string) error {
+	last := ""
+	for {
+		resp, err := http.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			time.Sleep(time.Second)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			time.Sleep(time.Second)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			return apiError(resp, body)
+		}
+		var st struct {
+			State  service.State `json:"state"`
+			Shards []struct {
+				Shard   int           `json:"shard"`
+				Node    string        `json:"node"`
+				State   service.State `json:"state"`
+				Attempt int           `json:"attempt"`
+			} `json:"shards"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("decoding cluster status: %w", err)
+		}
+		if string(st.State) != last {
+			last = string(st.State)
+			fmt.Fprintf(c.out, "cluster job %s %s\n", id, st.State)
+		}
+		if st.State.Terminal() {
+			for _, sh := range st.Shards {
+				fmt.Fprintf(c.out, "  shard %d %s on %s (attempt %d)\n",
+					sh.Shard, sh.State, sh.Node, sh.Attempt)
+			}
+			return nil
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// cluster dispatches the coordinator-only queries.
+func (c *client) cluster(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tsmoctl cluster members | status <id> | result <id>")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "members":
+		return c.get("/v1/members")
+	case "status":
+		return c.jobGet(rest, "cluster status", "")
+	case "result":
+		return c.jobGet(rest, "cluster result", "/result")
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q (want members, status or result)", sub)
+	}
 }
 
 // randomKey generates a fresh idempotency key.

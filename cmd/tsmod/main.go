@@ -17,6 +17,17 @@
 // finished ones keep serving their results, interrupted ones resume from
 // their last checkpoint and produce the same front they would have
 // produced uninterrupted (on the deterministic sim backend).
+//
+// tsmod also speaks cluster. With -cluster-listen it becomes a
+// coordinator instead of a solver: it routes POST /v1/jobs across the
+// -peers daemons, heartbeats them, steals queued work from hot nodes, and
+// migrates in-flight jobs off dead ones by shipping their checkpoints.
+// With -join a solver daemon gathers cross-node share batches through the
+// coordinator's share proxy, enabling cluster-wide collaborative search:
+//
+//	tsmod -addr :8081 -join http://coord:8080          # member
+//	tsmod -addr :8082 -join http://coord:8080          # member
+//	tsmod -cluster-listen :8080 -peers http://host1:8081,http://host2:8082
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -53,10 +66,22 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "grace period for running jobs on shutdown")
 		logLevel     = flag.String("log-level", "info", "slog level: debug, info, warn or error")
 		version      = flag.Bool("version", false, "print the version and exit")
+
+		clusterListen = flag.String("cluster-listen", "", "coordinator mode: serve the cluster API on this address instead of solving (requires -peers)")
+		peers         = flag.String("peers", "", "coordinator mode: comma-separated member base URLs, e.g. http://h1:8081,http://h2:8082")
+		clusterTick   = flag.Duration("cluster-tick", time.Second, "coordinator mode: heartbeat/steal/migration cadence")
+		join          = flag.String("join", "", "member mode: coordinator base URL for cross-node share gathering")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Version())
+		return
+	}
+	if *clusterListen != "" {
+		if err := runCoordinator(*clusterListen, *peers, *clusterTick, *logLevel); err != nil {
+			fmt.Fprintln(os.Stderr, "tsmod:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	cfg := service.Config{
@@ -72,6 +97,9 @@ func main() {
 		TraceDir:        *traceDir,
 		TraceCollector:  *traceURL,
 		Version:         buildinfo.Version(),
+	}
+	if *join != "" {
+		cfg.ShareDial = cluster.Dialer(normalizeURL(*join), http.DefaultClient)
 	}
 	if err := run(*addr, cfg, *drainTimeout, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "tsmod:", err)
@@ -133,4 +161,74 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, logLevel s
 	srv.Close() //nolint:errcheck // lingering streams after drain
 	logger.Info("drained, exiting")
 	return nil
+}
+
+// runCoordinator serves the cluster API over a static peer list, driving
+// the heartbeat/steal/migration loop every tick until SIGINT/SIGTERM.
+func runCoordinator(addr, peerList string, tick time.Duration, logLevel string) error {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("parsing -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, normalizeURL(p))
+		}
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-cluster-listen requires -peers (comma-separated member URLs)")
+	}
+	if tick <= 0 {
+		tick = time.Second
+	}
+
+	coord := cluster.New(cluster.Config{
+		Peers:   peers,
+		Logger:  logger,
+		Version: buildinfo.Version(),
+	})
+	srv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("tsmod coordinator listening", "addr", ln.Addr().String(),
+		"peers", peers, "tick", tick, "version", buildinfo.Version())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case err := <-serveErr:
+			return err
+		case <-ctx.Done():
+			stop()
+			logger.Info("coordinator shutting down")
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return srv.Shutdown(shutdownCtx)
+		case <-ticker.C:
+			rep := coord.Tick()
+			if rep.Migrations > 0 || rep.Steals > 0 || rep.Dead > 0 {
+				logger.Info("cluster tick", "alive", rep.Alive, "dead", rep.Dead,
+					"migrations", rep.Migrations, "steals", rep.Steals)
+			}
+		}
+	}
+}
+
+// normalizeURL defaults a bare host:port to the http scheme.
+func normalizeURL(u string) string {
+	if strings.Contains(u, "://") {
+		return u
+	}
+	return "http://" + u
 }

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// shareRetryDelay is the pause between reconnect attempts of a share
+// subscriber (owner dead, proxy said 503, stream broke). Variable so the
+// sim harness can shrink it.
+var shareRetryDelay = 200 * time.Millisecond
+
+// Dialer returns the service.Config.ShareDial implementation for a node
+// that joined a cluster: gatherers subscribe to every sibling shard's
+// share stream through the coordinator's proxy, so they survive sibling
+// migrations without knowing node addresses.
+func Dialer(coordinator string, client *http.Client) func(group string, shard, shards int, tel *telemetry.Telemetry) (service.ShareGatherer, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(group string, shard, shards int, tel *telemetry.Telemetry) (service.ShareGatherer, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		g := &gatherer{
+			base:   coordinator,
+			group:  group,
+			shards: shards,
+			client: client,
+			tel:    tel,
+			ctx:    ctx,
+			cancel: cancel,
+			peers:  make(map[int]*peerFeed),
+			notify: make(chan struct{}),
+		}
+		for i := 0; i < shards; i++ {
+			if i == shard {
+				continue
+			}
+			g.peers[i] = &peerFeed{epochs: make(map[int]core.ShareBatch)}
+			g.wg.Add(1)
+			go g.follow(i)
+		}
+		return g, nil
+	}
+}
+
+// peerFeed is the gatherer's view of one sibling shard: the batches seen
+// so far keyed by epoch (first write wins — a migrated sibling republishes
+// its post-checkpoint epochs with identical content, so duplicates are
+// dropped silently) and whether the sibling is done publishing.
+type peerFeed struct {
+	epochs map[int]core.ShareBatch
+	done   bool
+}
+
+// gatherer implements service.ShareGatherer over SSE subscriptions routed
+// through the coordinator. One goroutine per sibling follows that shard's
+// stream, reconnecting with its index cursor across node deaths; Gather
+// blocks until every sibling has either produced the requested epoch or
+// finished for good.
+type gatherer struct {
+	base   string
+	group  string
+	shards int
+	client *http.Client
+	tel    *telemetry.Telemetry
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	peers  map[int]*peerFeed
+	notify chan struct{}
+}
+
+func (g *gatherer) wake() {
+	close(g.notify)
+	g.notify = make(chan struct{})
+}
+
+// Gather returns the sibling batches for one epoch, in shard order,
+// omitting siblings that finished before reaching it. It blocks until the
+// set is complete; ctx cancellation (the job was canceled) or Close are
+// the only ways out early.
+func (g *gatherer) Gather(ctx context.Context, epoch int) ([]core.ShareBatch, error) {
+	for {
+		g.mu.Lock()
+		ready := true
+		var out []core.ShareBatch
+		for shard := 0; shard < g.shards; shard++ {
+			p, ok := g.peers[shard]
+			if !ok {
+				continue
+			}
+			if b, got := p.epochs[epoch]; got {
+				out = append(out, b)
+				continue
+			}
+			if !p.done {
+				ready = false
+				break
+			}
+		}
+		notify := g.notify
+		g.mu.Unlock()
+		if ready {
+			return out, nil
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-g.ctx.Done():
+			return nil, fmt.Errorf("share gatherer closed")
+		}
+	}
+}
+
+// Close stops the subscriber goroutines and waits them out.
+func (g *gatherer) Close() {
+	g.cancel()
+	g.wg.Wait()
+}
+
+// markDone records that a sibling will publish no further epochs.
+func (g *gatherer) markDone(shard int) {
+	g.mu.Lock()
+	g.peers[shard].done = true
+	g.wake()
+	g.mu.Unlock()
+}
+
+// follow subscribes to one sibling's share stream and keeps it flowing
+// across failures: a broken stream or a 503 from the proxy (sibling
+// between owners) backs off and reconnects with the index cursor; a 410
+// means the sibling is gone for good.
+func (g *gatherer) follow(shard int) {
+	defer g.wg.Done()
+	peer := "shard-" + strconv.Itoa(shard)
+	cursor := 0
+	for {
+		done, err := g.stream(shard, peer, &cursor)
+		if done {
+			g.markDone(shard)
+			return
+		}
+		if err != nil && g.ctx.Err() == nil {
+			g.tel.PeerShares().Get(peer).Bad()
+		}
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-time.After(shareRetryDelay):
+		}
+	}
+}
+
+// stream runs one subscription attempt. It returns done=true when the
+// sibling will never publish again (done event, or 410 from the proxy)
+// and an error for countable failures (a counted error, never a panic —
+// malformed frames from a peer must not take the searcher down).
+func (g *gatherer) stream(shard int, peer string, cursor *int) (bool, error) {
+	url := g.base + "/v1/shares/" + g.group + "/" + strconv.Itoa(shard) + "?after=" + strconv.Itoa(*cursor)
+	req, err := http.NewRequestWithContext(g.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false, nil // transport-level: retry silently, the node may be migrating
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return true, nil
+	default:
+		return false, nil // 503 while migrating, 404 before registration: retry
+	}
+
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if done, err := g.dispatch(shard, peer, event, data, cursor); done || err != nil {
+				return done, err
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "id: "):
+			if id, err := strconv.Atoi(line[len("id: "):]); err == nil {
+				*cursor = id
+			}
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		}
+	}
+	return false, sc.Err() // stream broke; reconnect from the cursor
+}
+
+// dispatch folds one complete SSE frame into the peer's feed.
+func (g *gatherer) dispatch(shard int, peer, event, data string, cursor *int) (bool, error) {
+	switch event {
+	case "share":
+		var b core.ShareBatch
+		if err := json.Unmarshal([]byte(data), &b); err != nil {
+			g.tel.PeerShares().Get(peer).Bad()
+			return false, nil // counted; the stream goes on
+		}
+		if b.Shard != shard || b.Epoch <= 0 {
+			g.tel.PeerShares().Get(peer).Bad()
+			return false, nil
+		}
+		g.mu.Lock()
+		p := g.peers[shard]
+		if _, dup := p.epochs[b.Epoch]; !dup {
+			p.epochs[b.Epoch] = b
+			g.wake()
+		}
+		g.mu.Unlock()
+		g.tel.PeerShares().Get(peer).Batch(len(b.Solutions))
+		return false, nil
+	case "done":
+		return true, nil
+	default:
+		return false, nil
+	}
+}

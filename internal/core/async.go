@@ -35,6 +35,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = rec != nil || len(peers) == 0 || p.ID() == 0
+	s.shareOn = cfg.Share != nil && p.ID() == 0
 	rp := cfg.resumePart(p.ID())
 	if rp != nil {
 		s.restoreFrom(rp)
@@ -304,6 +305,13 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 			sp.End()
 		}
 
+		if cfg.shareDue(s.iter) && s.shareOn && !s.done(p) {
+			// Late worker results queue (in virtual time) while the gather
+			// blocks in wall time, so the exchange never perturbs the
+			// decision function's trajectory.
+			s.exchange(p)
+		}
+
 		if cfg.checkpointDue(s.iter) && !s.done(p) && protoErr == nil {
 			ckptSpan := s.tr.Start(s.phase, "ckpt_barrier").
 				SetInt("proc", int64(p.ID())).
@@ -363,7 +371,7 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 	if protoErr != nil {
 		return s.failOutcome(protoErr)
 	}
-	return s.outcome(shares)
+	return s.outcome(shares + s.xshares)
 }
 
 // dropDeadPeers removes peers whose process is gone — crashed or already

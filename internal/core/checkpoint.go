@@ -102,6 +102,14 @@ type SearcherState struct {
 	InitialPhase bool  `json:"initial_phase,omitempty"`
 	Shares       int   `json:"shares,omitempty"`
 
+	// Cluster-exchange state (Config.Share; primary searcher only): the
+	// batch accumulating toward the next share epoch, the full publish
+	// history (so a migrated job's new node can replay past epochs to
+	// reconnecting siblings), and the cross-node share count.
+	ShareOut  [][][]int    `json:"share_out,omitempty"`
+	ShareSent []ShareBatch `json:"share_sent,omitempty"`
+	XShares   int          `json:"xshares,omitempty"`
+
 	// Runtime-level snapshot (simulator backend only; zero Speed on the
 	// goroutine backend means "nothing captured").
 	Proc deme.ProcSnapshot `json:"proc"`
@@ -261,6 +269,11 @@ type configFingerprint struct {
 	// deliberately absent: the parallel evaluator is bit-identical to
 	// the serial path.
 	GranularK int `json:"granular_k,omitempty"`
+	// ShareEvery gates the cluster-exchange epochs, which inject foreign
+	// solutions into M_nondom; omitempty keeps every non-cluster digest —
+	// and so all pre-cluster checkpoints — unchanged. validate() zeroes it
+	// whenever Config.Share is nil.
+	ShareEvery int `json:"share_every,omitempty"`
 }
 
 // configDigest fingerprints the validated, search-shaping part of the
@@ -286,6 +299,7 @@ func configDigest(c *Config, alg Algorithm) string {
 		DisableAspiration: c.DisableAspiration,
 		SampleEvery:       c.SampleEvery,
 		GranularK:         c.GranularK,
+		ShareEvery:        c.ShareEvery,
 	}
 	for _, op := range c.Operators {
 		fp.Operators = append(fp.Operators, op.Name())
@@ -416,6 +430,11 @@ func (s *searcher) capture(p deme.Proc, barrier int, done bool) *SearcherState {
 	if sn, ok := p.(deme.Snapshotter); ok {
 		st.Proc = sn.Snapshot()
 	}
+	if s.shareOn {
+		st.ShareOut = append([][][]int(nil), s.shareOut...)
+		st.ShareSent = s.cfg.Share.History()
+		st.XShares = s.xshares
+	}
 	return st
 }
 
@@ -440,6 +459,11 @@ func (s *searcher) restoreFrom(st *SearcherState) {
 	s.hvRef = st.HVRef
 	s.lastSample = st.LastSample
 	s.samples = append(s.samples[:0], st.Samples...)
+	if s.shareOn {
+		s.shareOut = append([][][]int(nil), st.ShareOut...)
+		s.xshares = st.XShares
+		s.cfg.Share.Prime(st.ShareSent)
+	}
 	s.cfg.Telemetry.CheckpointGroup().Resumed()
 }
 

@@ -46,6 +46,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 	s := newSearcher(in, cfg, r, nbh, tenure, restart)
 	s.rec = rec
 	s.sampleOn = p.ID() == 0
+	s.shareOn = cfg.Share != nil && p.ID() == 0
 	sh := cfg.Telemetry.ShareGroup()
 	fg := cfg.Telemetry.FaultGroup()
 
@@ -190,6 +191,15 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 			sp.End()
 		}
 
+		if cfg.shareDue(s.iter) && s.shareOn && !s.done(p) {
+			// Only searcher 0 bridges to the cluster: solutions it folds
+			// here reach the other local searchers through the regular
+			// in-process ring. Peers keep searching during the gather —
+			// their shares queue in virtual time, exactly as during a
+			// checkpoint barrier's assembly.
+			s.exchange(p)
+		}
+
 		if p.ID() == 0 && cfg.checkpointDue(s.iter) && !s.done(p) {
 			b := s.iter / cfg.CheckpointEvery
 			ckptSpan := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
@@ -210,7 +220,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 		st.Done = true
 		cfg.coll.put(p.ID(), st)
 	}
-	return s.outcome(shares)
+	return s.outcome(shares + s.xshares)
 }
 
 // sendShare delivers an improving solution to the peers: to the head of

@@ -213,6 +213,17 @@ type Config struct {
 	// is a live goroutine, so sinks must be fast or hand off. A sink
 	// error is counted in telemetry and the run continues.
 	CheckpointSink func(*Checkpoint) error
+	// Share, when non-nil, connects this run to sibling runs (cluster
+	// shards of one job on other daemons): every ShareEvery master
+	// iterations the primary searcher publishes its archive-entering
+	// solutions and folds in the same-epoch batches of every sibling —
+	// an epoch-synchronized extension of the collaborative ring across
+	// machines. Incompatible with Combined. See share.go.
+	Share ShareExchange
+	// ShareEvery is the share-epoch length in master iterations; 0 with
+	// Share set picks 50. It shapes the trajectory, so it is part of the
+	// checkpoint fingerprint (sibling shards must agree on it).
+	ShareEvery int
 	// Telemetry, when non-nil, enables the observability layer: atomic
 	// search/operator/delta counters, async decision-function tracing,
 	// worker idle accounting, and (when the layer carries sinks) the
@@ -349,6 +360,21 @@ func (c *Config) validate(in *vrptw.Instance, alg Algorithm) error {
 	}
 	if c.EvalWorkers < 0 {
 		return fmt.Errorf("core: EvalWorkers must be >= 0, got %d", c.EvalWorkers)
+	}
+	if c.ShareEvery < 0 {
+		return fmt.Errorf("core: ShareEvery must be >= 0, got %d", c.ShareEvery)
+	}
+	if c.Share != nil {
+		if alg == Combined {
+			return fmt.Errorf("core: cluster sharing does not support the combined variant")
+		}
+		if c.ShareEvery == 0 {
+			c.ShareEvery = 50
+		}
+	} else {
+		// Without an exchange the epoch length is inert; zero it so it
+		// cannot perturb the config digest of a non-cluster run.
+		c.ShareEvery = 0
 	}
 	if c.CheckpointEvery > 0 {
 		if alg == Combined {

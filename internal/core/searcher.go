@@ -65,6 +65,14 @@ type searcher struct {
 	sinceImprove  int
 	noImprovement bool
 
+	// Cluster sharing (Config.Share; primary searcher only): shareOn
+	// gates the egress capture, shareOut accumulates the routes of
+	// solutions that entered the archive since the last share epoch, and
+	// xshares counts solutions published across the exchange.
+	shareOn  bool
+	shareOut [][][]int
+	xshares  int
+
 	rec        *Trajectory
 	sampleOn   bool
 	samples    []QualitySample
@@ -394,6 +402,11 @@ func (s *searcher) step(p deme.Proc, cands []cand) bool {
 		improved = true
 		if selectedOp != "" {
 			s.ops.Get(selectedOp).Accept()
+		}
+		if s.shareOn {
+			// Egress capture for the cluster exchange: route slices are
+			// immutable once attached, so sharing them is safe.
+			s.shareOut = append(s.shareOut, s.cur.Routes)
 		}
 		// Stream the accepted point: the solver service forwards these
 		// to its subscribers as the evolving Pareto front. Sinks (not

@@ -14,6 +14,7 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = true
+	s.shareOn = cfg.Share != nil && p.ID() == 0
 	if st := cfg.resumePart(p.ID()); st != nil {
 		s.restoreFrom(st)
 	} else {
@@ -27,6 +28,9 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 			s.evals++
 		}
 		s.step(p, cands)
+		if cfg.shareDue(s.iter) && s.shareOn && !s.done(p) {
+			s.exchange(p)
+		}
 		if cfg.checkpointDue(s.iter) && !s.done(p) {
 			b := s.iter / cfg.CheckpointEvery
 			sp := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
@@ -35,5 +39,5 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 			sp.End()
 		}
 	}
-	return s.outcome(0)
+	return s.outcome(s.xshares)
 }

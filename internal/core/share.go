@@ -1,0 +1,170 @@
+// Cross-run sharing: the hooks that let sibling runs — typically shards of
+// one cluster job on different daemons — exchange archive-entering
+// solutions while they search, extending the collaborative variant's ring
+// across process (and machine) boundaries.
+//
+// The exchange is epoch-synchronized: every ShareEvery master iterations
+// the primary searcher publishes the batch of solutions that entered its
+// archive since the previous boundary, then gathers the same-epoch batches
+// of every sibling shard and folds them into M_nondom in shard order. The
+// barrier makes the folded content a pure function of the sibling
+// trajectories — independent of network timing — which is what lets a
+// cluster-share run replay bit-identically from its seed and resume from a
+// checkpoint taken on a different machine.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/deme"
+	"repro/internal/solution"
+	"repro/internal/vrptw"
+)
+
+// ShareBatch is one shard's contribution to one share epoch: the solutions
+// (routes only — receivers re-evaluate, bit-identically) that entered its
+// archive during the epoch. Done marks a shard that has finished (or died
+// with its node): siblings stop waiting for it, the cluster analogue of
+// dropDeadPeers.
+type ShareBatch struct {
+	Shard     int       `json:"shard"`
+	Epoch     int       `json:"epoch"`
+	Solutions [][][]int `json:"solutions,omitempty"`
+	Done      bool      `json:"done,omitempty"`
+}
+
+// ShareExchange connects one run to its sibling shards. Implementations
+// live outside core (internal/service feeds, internal/cluster gatherers);
+// core only publishes, gathers and folds.
+//
+// Publish hands the local batch for one epoch outward; the implementation
+// stamps the shard index. Gather blocks until every live sibling's batch
+// for the epoch is available (or the sibling is known Done, or ctx is
+// cancelled) and returns the sibling batches — never the local shard's
+// own. History returns every batch published so far, newest last, for
+// checkpoint capture; Prime replays such a history into a fresh exchange
+// on resume, so siblings that reconnect can still fetch pre-migration
+// epochs.
+type ShareExchange interface {
+	Publish(ShareBatch) error
+	Gather(ctx context.Context, epoch int) ([]ShareBatch, error)
+	History() []ShareBatch
+	Prime([]ShareBatch)
+}
+
+// shareDue reports whether the primary searcher's iteration count sits on
+// a share-epoch boundary. Like checkpointDue it is checked after a step,
+// so a run resumed from a checkpoint at iteration k never re-fires the
+// epoch that ended at k.
+func (c *Config) shareDue(iter int) bool {
+	return c.Share != nil && c.ShareEvery > 0 && iter > 0 && iter%c.ShareEvery == 0
+}
+
+// exchange runs one share epoch on the primary searcher: publish the
+// solutions accepted since the last boundary, gather the sibling batches
+// of the same epoch, and fold them into M_nondom in shard order, charging
+// the same modeled handling cost as an in-process share. A publish or
+// gather failure degrades the epoch (nothing folded) and is counted; it
+// never stops the search.
+func (s *searcher) exchange(p deme.Proc) {
+	cfg := s.cfg
+	epoch := s.iter / cfg.ShareEvery
+	sp := s.tr.Start(s.phase, "cluster_share").
+		SetInt("proc", int64(p.ID())).
+		SetInt("epoch", int64(epoch))
+	defer sp.End()
+
+	out := ShareBatch{Epoch: epoch, Solutions: s.shareOut}
+	s.shareOut = nil
+	sh := cfg.Telemetry.ShareGroup()
+	fg := cfg.Telemetry.FaultGroup()
+	if err := cfg.Share.Publish(out); err != nil {
+		fg.Malformed()
+		sp.SetAttr("error", err.Error())
+		return
+	}
+	s.xshares += len(out.Solutions)
+	sh.SendN(len(out.Solutions))
+
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batches, err := cfg.Share.Gather(ctx, epoch)
+	if err != nil {
+		// Cancelled runs stop at the next done() poll; other gather
+		// failures (a mid-migration sibling, say) skip the fold — the
+		// epoch content degrades deterministically to "nothing arrived".
+		if ctx.Err() == nil {
+			fg.Malformed()
+			sp.SetAttr("error", err.Error())
+		}
+		return
+	}
+	// Shard order, not arrival order: the fold sequence must be a pure
+	// function of the batch contents for bit-identical replays.
+	sort.Slice(batches, func(i, j int) bool { return batches[i].Shard < batches[j].Shard })
+	folded := 0
+	for _, b := range batches {
+		if b.Epoch != epoch {
+			fg.Malformed()
+			continue
+		}
+		for _, routes := range b.Solutions {
+			sol, err := safeSolution(s.in, routes)
+			if err != nil {
+				fg.Malformed()
+				continue
+			}
+			p.Compute(shareHandlingFactor * cfg.Cost.OverheadPerNeighbor)
+			sh.Received(s.nondom.Add(sol))
+			folded++
+		}
+	}
+	sp.SetInt("published", int64(len(out.Solutions))).
+		SetInt("folded", int64(folded))
+}
+
+// ValidateShareRoutes checks one foreign route plan against an instance
+// exactly as the share ingress does before materializing it. Exported for
+// the fuzz harness that feeds hostile peer payloads through the trust
+// boundary.
+func ValidateShareRoutes(in *vrptw.Instance, routes [][]int) error {
+	_, err := safeSolution(in, routes)
+	return err
+}
+
+// safeSolution validates foreign routes before materializing them: every
+// customer routed exactly once, ids in range, no empty routes, fleet not
+// exceeded. solution.New assumes these invariants (and would index out of
+// range on garbage) — a peer's malformed share must surface as a counted
+// error instead, so this is the trust boundary for route payloads that
+// crossed a machine boundary.
+func safeSolution(in *vrptw.Instance, routes [][]int) (*solution.Solution, error) {
+	if len(routes) == 0 || len(routes) > in.Vehicles {
+		return nil, fmt.Errorf("core: shared solution deploys %d routes for a %d-vehicle fleet", len(routes), in.Vehicles)
+	}
+	seen := make([]bool, in.N()+1)
+	total := 0
+	for i, r := range routes {
+		if len(r) == 0 {
+			return nil, fmt.Errorf("core: shared solution route %d is empty", i)
+		}
+		for _, c := range r {
+			if c < 1 || c > in.N() {
+				return nil, fmt.Errorf("core: shared solution routes customer %d (instance has %d)", c, in.N())
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("core: shared solution routes customer %d twice", c)
+			}
+			seen[c] = true
+			total++
+		}
+	}
+	if total != in.N() {
+		return nil, fmt.Errorf("core: shared solution routes %d of %d customers", total, in.N())
+	}
+	return solution.New(in, routes), nil
+}

@@ -31,6 +31,7 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 	s := newSearcher(in, cfg, r, 0, 0, 0)
 	s.rec = rec
 	s.sampleOn = true
+	s.shareOn = cfg.Share != nil && p.ID() == 0
 	if st := cfg.resumePart(p.ID()); st != nil {
 		s.restoreFrom(st)
 	} else {
@@ -173,6 +174,11 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 			}
 		}
 		s.step(p, cands)
+		if cfg.shareDue(s.iter) && s.shareOn && !s.done(p) {
+			// Workers are idle between iterations, so the blocking gather
+			// fits here exactly like the checkpoint barrier below.
+			s.exchange(p)
+		}
 		if cfg.checkpointDue(s.iter) && !s.done(p) {
 			// Checkpoint barrier: every alive worker deposits its runtime
 			// snapshot and acks; the master then captures itself and
@@ -192,7 +198,7 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 		}
 	}
 	stopWorkers(p)
-	return s.outcome(0)
+	return s.outcome(s.xshares)
 }
 
 // stopWorkers tells every originally-assigned worker to terminate. Evicted

@@ -42,6 +42,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/shares/{group}/{shard}", s.handleShares)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
@@ -242,6 +244,96 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data) //nolint:errcheck // client gone
+}
+
+// handleCheckpoint serves the job's latest checkpoint envelope — the
+// migration artifact the cluster coordinator caches so it can restart the
+// job on a surviving node after this one dies. 404 until the first barrier
+// lands (or forever, for a job that does not checkpoint).
+func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, barrier := j.CheckpointData()
+	if data == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no checkpoint yet", j.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Checkpoint-Barrier", strconv.Itoa(barrier))
+	w.Write(data) //nolint:errcheck // client gone
+}
+
+// handleShares streams one shard's outbound share batches as Server-Sent
+// Events. Each batch carries its feed index as the SSE id, so a sibling
+// that reconnects — directly or through the coordinator's proxy after a
+// migration — resumes with Last-Event-ID (or the after query parameter)
+// and misses nothing. A final `done` event announces that the shard will
+// publish no further epochs. The feed is created on first touch: a sibling
+// may subscribe before the local job has begun publishing.
+func (s *Service) handleShares(w http.ResponseWriter, r *http.Request) {
+	group := r.PathValue("group")
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if group == "" || err != nil || shard < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed share address %q/%q", group, r.PathValue("shard")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.Atoi(v) //nolint:errcheck // malformed id restarts the stream
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.Atoi(v) //nolint:errcheck // as above
+	}
+	feed := s.shares.feed(group, shard)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		batches, notify, total, done := feed.since(after)
+		for i, b := range batches {
+			data, err := json.Marshal(b)
+			if err != nil {
+				continue
+			}
+			idx := after + i + 1 // 1-based: id N means "N batches delivered"
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: share\ndata: %s\n\n", idx, data); err != nil {
+				return
+			}
+		}
+		after += len(batches)
+		if len(batches) > 0 {
+			flusher.Flush()
+		}
+		if done && after >= total {
+			fmt.Fprint(w, "event: done\ndata: {}\n\n") //nolint:errcheck // client gone
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		}
+	}
 }
 
 // sseHeartbeat is how often an idle event stream emits a keep-alive

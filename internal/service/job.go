@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -103,6 +104,23 @@ type JobSpec struct {
 	// as long as their job is retained and survive daemon restarts on
 	// durable services.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// ShareGroup, ShareShard and ShareShards make the job one shard of a
+	// cluster-share group: its archive-entering solutions are published on
+	// GET /v1/shares/{group}/{shard} and, when ShareShards > 1, the
+	// sibling shards' batches are gathered through the dialer configured
+	// in Config.ShareDial and folded into the search every ShareEvery
+	// master iterations (0 picks the solver default). Set by the cluster
+	// coordinator when fanning out a "cluster_share" job.
+	ShareGroup  string `json:"share_group,omitempty"`
+	ShareShard  int    `json:"share_shard,omitempty"`
+	ShareShards int    `json:"share_shards,omitempty"`
+	ShareEvery  int    `json:"share_every,omitempty"`
+	// Resume, when non-empty, is an encoded checkpoint envelope
+	// (core.EncodeCheckpoint) the job continues from instead of starting
+	// fresh — the migration path: the coordinator ships a dead node's last
+	// checkpoint to a survivor. The rest of the spec must describe the
+	// same run (the checkpoint's digests are verified on resume).
+	Resume json.RawMessage `json:"resume,omitempty"`
 }
 
 // Event is one entry of a job's event stream: service lifecycle events
@@ -173,11 +191,21 @@ type Job struct {
 	queueSpan *trace.Span
 	fr        *flight.Ring
 
-	// resume is the recovered checkpoint a re-queued job continues from;
-	// restored is the persisted result a recovered terminal job serves.
-	// Both are set only during recovery, before the job is reachable.
+	// resume is the checkpoint a re-queued (journal recovery) or migrated
+	// (JobSpec.Resume) job continues from; restored is the persisted
+	// result a recovered terminal job serves. Both are set before the job
+	// is reachable.
 	resume   *core.Checkpoint
 	restored *resultio.FrontFile
+
+	// Latest checkpoint envelope, kept in memory for every checkpointed
+	// job (durable or not) so GET /v1/jobs/{id}/checkpoint can hand the
+	// cluster coordinator a migration artifact. Guarded by ckptMu, not
+	// j.mu: the sink runs on a solver goroutine and must never contend
+	// with the observe hook.
+	ckptMu      sync.Mutex
+	lastCkpt    []byte
+	lastBarrier int
 
 	mu         sync.Mutex
 	state      State
@@ -283,6 +311,21 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 	cfg.Islands = spec.Islands
 	cfg.GranularK = spec.GranularK
 	cfg.EvalWorkers = spec.EvalWorkers
+	if err := validateShareSpec(&spec, limits); err != nil {
+		return nil, err
+	}
+	cfg.ShareEvery = spec.ShareEvery
+	if len(spec.Resume) > 0 {
+		ck, err := core.DecodeCheckpoint(spec.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		j.resume = ck
+		// Seed the in-memory checkpoint cache: if this node dies too, the
+		// job is migratable again even before its first new barrier.
+		j.lastCkpt = append([]byte(nil), spec.Resume...)
+		j.lastBarrier = ck.Barrier
+	}
 	cfg.SampleEvery = spec.SampleEvery
 	if cfg.SampleEvery <= 0 {
 		// Default the sampling grid so every job leaves a flight recording:
@@ -572,6 +615,21 @@ func (j *Job) restoredFront() *resultio.FrontFile {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.restored
+}
+
+// setCheckpoint stores the newest checkpoint envelope (the sink path).
+func (j *Job) setCheckpoint(barrier int, data []byte) {
+	j.ckptMu.Lock()
+	j.lastCkpt, j.lastBarrier = data, barrier
+	j.ckptMu.Unlock()
+}
+
+// CheckpointData returns the newest checkpoint envelope and its barrier;
+// nil before the first barrier (or for uncheckpointed jobs).
+func (j *Job) CheckpointData() ([]byte, int) {
+	j.ckptMu.Lock()
+	defer j.ckptMu.Unlock()
+	return j.lastCkpt, j.lastBarrier
 }
 
 // InstanceName returns the resolved instance name.

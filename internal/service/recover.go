@@ -20,11 +20,12 @@ import (
 func Open(cfg Config) (*Service, error) {
 	cfg.applyDefaults()
 	s := &Service{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		jobs: make(map[string]*Job),
-		idem: make(map[string]string),
-		met:  newSvcMetrics(),
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		jobs:   make(map[string]*Job),
+		idem:   make(map[string]string),
+		met:    newSvcMetrics(),
+		shares: newShareHub(),
 	}
 	var requeue []*Job
 	if cfg.DataDir != "" {
@@ -147,9 +148,14 @@ func (s *Service) replay(recs []journalRecord) []*Job {
 			s.recovered++
 		} else {
 			// Queued or mid-run at the crash: back on the queue, resuming
-			// from the latest checkpoint that reached disk.
+			// from the latest checkpoint that reached disk. A checkpoint
+			// shipped in the spec (a migrated job) stays in place unless
+			// the local file is newer — it carries at least that barrier.
 			if rj.barrier > 0 {
-				j.resume = s.loadCheckpoint(id)
+				if ck, raw := s.loadCheckpoint(id); ck != nil {
+					j.resume = ck
+					j.setCheckpoint(ck.Barrier, raw)
+				}
 			}
 			fields := map[string]any{"job": id}
 			if j.resume != nil {
@@ -202,21 +208,22 @@ func (s *Service) loadResult(id string) *resultio.FrontFile {
 	return ff
 }
 
-// loadCheckpoint reads and decodes a job's latest checkpoint, nil when the
-// file is missing or damaged — the job then restarts from scratch, which
-// is always safe.
-func (s *Service) loadCheckpoint(id string) *core.Checkpoint {
+// loadCheckpoint reads and decodes a job's latest checkpoint (returning
+// both the decoded form and the raw envelope, which seeds the migration
+// cache); nil when the file is missing or damaged — the job then restarts
+// from scratch, which is always safe.
+func (s *Service) loadCheckpoint(id string) (*core.Checkpoint, []byte) {
 	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "ckpt.json"))
 	if err != nil {
 		s.logWarn("recovery: missing checkpoint, restarting job from scratch", "job", id, "error", err)
-		return nil
+		return nil, nil
 	}
 	ck, err := core.DecodeCheckpoint(data)
 	if err != nil {
 		s.logWarn("recovery: undecodable checkpoint, restarting job from scratch", "job", id, "error", err)
-		return nil
+		return nil, nil
 	}
-	return ck
+	return ck, data
 }
 
 // jobDir is the per-job durable directory (checkpoints and results).

@@ -78,6 +78,14 @@ type Config struct {
 	// iterations for durable jobs. Default DefaultCheckpointEvery when
 	// DataDir is set; ignored otherwise.
 	CheckpointEvery int
+	// ShareDial, when non-nil, lets cluster-share jobs (JobSpec.ShareGroup
+	// with ShareShards > 1) gather sibling-shard batches: it is called
+	// once per such job, from the worker goroutine, before the search
+	// starts. internal/cluster provides the SSE-over-coordinator dialer;
+	// tests inject in-process ones. nil rejects multi-shard submissions.
+	// tel is the job's telemetry layer: the dialer records per-peer share
+	// counters there (Telemetry.Peers).
+	ShareDial func(group string, shard, shards int, tel *telemetry.Telemetry) (ShareGatherer, error)
 	// Version is reported by GET /v1/healthz (see internal/buildinfo).
 	Version string
 	// Logger, when non-nil, receives job lifecycle log lines.
@@ -145,6 +153,10 @@ type Service struct {
 	// met backs GET /metrics: lifecycle counters, SLO histograms, and the
 	// monotone cross-job aggregation of solver telemetry.
 	met *svcMetrics
+
+	// shares registers the node's outbound share feeds, one per
+	// cluster-share job, served on GET /v1/shares/{group}/{shard}.
+	shares *shareHub
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -282,6 +294,9 @@ func (s *Service) evictLocked() {
 					s.logWarn("evict: removing job dir", "job", id, "error", err)
 				}
 			}
+			if j.Spec.ShareGroup != "" {
+				s.shares.drop(j.Spec.ShareGroup, j.Spec.ShareShard)
+			}
 			s.met.forget(id)
 			terminal--
 			continue
@@ -366,7 +381,13 @@ func (s *Service) runJob(j *Job) {
 		if err := s.jl.append(journalRecord{Type: "start", Job: j.ID}); err != nil {
 			s.logWarn("journal: start record", "job", j.ID, "error", err)
 		}
-		s.armCheckpoints(j)
+	}
+	s.armCheckpoints(j)
+	if done, err := s.armShares(j); err != nil {
+		j.finish(nil, err)
+		return
+	} else if done != nil {
+		defer done()
 	}
 
 	// Expose the running job's instruments on /debug/vars; with several
@@ -401,22 +422,25 @@ func (s *Service) runJob(j *Job) {
 	}
 }
 
-// armCheckpoints wires a durable job's search to the on-disk checkpoint
-// file: each barrier snapshot is installed atomically at
-// jobs/<id>/ckpt.json and then pointed at by a journal record, so recovery
-// only ever resumes from a checkpoint that fully reached disk. Runs that
-// cannot be checkpointed deterministically — the combined variant, or an
-// in-run MaxSeconds budget (both rejected by the solver's own validation)
-// — simply run without snapshots and restart from scratch after a crash.
+// armCheckpoints wires a job's search to its checkpoint sinks. Every
+// checkpointed job — durable or not — keeps the latest envelope in memory,
+// where GET /v1/jobs/{id}/checkpoint serves it to the cluster coordinator
+// as a migration artifact; durable jobs additionally install each snapshot
+// atomically at jobs/<id>/ckpt.json and point a journal record at it, so
+// recovery only ever resumes from a checkpoint that fully reached disk.
+// Runs that cannot be checkpointed deterministically — the combined
+// variant, or an in-run MaxSeconds budget (both rejected by the solver's
+// own validation) — simply run without snapshots and restart from scratch
+// after a crash.
 func (s *Service) armCheckpoints(j *Job) {
-	if s.cfg.CheckpointEvery <= 0 || j.alg == core.Combined || j.cfg.MaxSeconds > 0 {
-		return
-	}
 	every := s.cfg.CheckpointEvery
 	if j.resume != nil {
 		// A resumed run must keep the interval it was cut at: the barrier
 		// cadence is part of the deterministic trajectory.
 		every = j.resume.Every
+	}
+	if every <= 0 || j.alg == core.Combined || j.cfg.MaxSeconds > 0 {
+		return
 	}
 	j.cfg.CheckpointEvery = every
 	path := filepath.Join(s.jobDir(j.ID), "ckpt.json")
@@ -425,11 +449,42 @@ func (s *Service) armCheckpoints(j *Job) {
 		if err != nil {
 			return err
 		}
+		j.setCheckpoint(ck.Barrier, data)
+		if s.jl == nil {
+			return nil
+		}
 		if err := writeFileSync(path, data); err != nil {
 			return err
 		}
 		return s.jl.append(journalRecord{Type: "ckpt", Job: j.ID, Barrier: ck.Barrier})
 	}
+}
+
+// armShares wires a cluster-share job to its outbound feed and — for
+// multi-shard groups — dials the sibling gatherer. The returned cleanup
+// marks the feed done (no further epochs from this shard) and closes the
+// gatherer; it must run after the search returns. A dial failure fails the
+// job before it consumes any budget.
+func (s *Service) armShares(j *Job) (func(), error) {
+	if j.Spec.ShareGroup == "" {
+		return nil, nil
+	}
+	feed := s.shares.feed(j.Spec.ShareGroup, j.Spec.ShareShard)
+	var g ShareGatherer
+	if j.Spec.ShareShards > 1 {
+		var err error
+		g, err = s.cfg.ShareDial(j.Spec.ShareGroup, j.Spec.ShareShard, j.Spec.ShareShards, j.tel)
+		if err != nil {
+			return nil, fmt.Errorf("dialing share group %s: %w", j.Spec.ShareGroup, err)
+		}
+	}
+	j.cfg.Share = &jobExchange{shard: j.Spec.ShareShard, feed: feed, gather: g}
+	return func() {
+		feed.finish()
+		if g != nil {
+			g.Close()
+		}
+	}, nil
 }
 
 // persistTerminal durably records a job's terminal transition: the result

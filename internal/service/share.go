@@ -1,0 +1,194 @@
+// Cross-node share plumbing: the service side of core.ShareExchange.
+//
+// Every cluster-share job owns one shareFeed — the ordered list of
+// ShareBatch values its searcher has published, replayable by index so SSE
+// subscribers (sibling shards on other nodes, reached through the
+// coordinator's share proxy) resume with an `after` cursor exactly like
+// the job event stream. The gather half is pluggable: Config.ShareDial
+// returns a ShareGatherer that collects the sibling batches of an epoch,
+// typically internal/cluster's SSE gatherer. The service itself never
+// dials anything, keeping the service → cluster dependency one-way.
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ShareGatherer collects sibling-shard batches for a cluster-share job.
+// Gather blocks until every live sibling's batch for the epoch is
+// available (or the sibling is known finished, or ctx is cancelled) and
+// returns the batches gathered — never the local shard's own. Close
+// releases the gatherer's connections; it is called once, after the job's
+// search has returned.
+type ShareGatherer interface {
+	Gather(ctx context.Context, epoch int) ([]core.ShareBatch, error)
+	Close()
+}
+
+// shareFeed is one job's outbound share stream: the batches published so
+// far (index-addressable, so subscribers resume by position), a notify
+// channel closed and replaced on every append, and a done flag raised when
+// the job turns terminal — the signal that tells subscribers no further
+// epochs will ever arrive from this shard.
+type shareFeed struct {
+	mu      sync.Mutex
+	batches []core.ShareBatch
+	notify  chan struct{}
+	done    bool
+}
+
+func newShareFeed() *shareFeed {
+	return &shareFeed{notify: make(chan struct{})}
+}
+
+// publish appends one batch and wakes the subscribers.
+func (f *shareFeed) publish(b core.ShareBatch) {
+	f.mu.Lock()
+	f.batches = append(f.batches, b)
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// prime replays a checkpointed publish history into the feed — the resume
+// path of a migrated job. The restored trajectory republishes the epochs
+// after the checkpoint bit-identically, so indices and contents line up
+// with what subscribers saw from the previous incarnation.
+func (f *shareFeed) prime(history []core.ShareBatch) {
+	f.mu.Lock()
+	if len(history) > len(f.batches) {
+		f.batches = append([]core.ShareBatch(nil), history...)
+		close(f.notify)
+		f.notify = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// history snapshots the published batches for checkpoint capture.
+func (f *shareFeed) history() []core.ShareBatch {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]core.ShareBatch(nil), f.batches...)
+}
+
+// since returns the batches at index >= after, a channel closed on the
+// next append, the total published count, and whether the feed is done.
+func (f *shareFeed) since(after int) (batches []core.ShareBatch, notify <-chan struct{}, total int, done bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if after < len(f.batches) {
+		batches = append(batches, f.batches[after:]...)
+	}
+	return batches, f.notify, len(f.batches), f.done
+}
+
+// finish marks the feed complete and wakes the subscribers. Idempotent.
+func (f *shareFeed) finish() {
+	f.mu.Lock()
+	if !f.done {
+		f.done = true
+		close(f.notify)
+		f.notify = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// shareHub registers the node's share feeds by (group, shard). Feeds are
+// created lazily by publisher and subscriber alike — a sibling may dial in
+// before the local job has started — and live until the owning job is
+// evicted.
+type shareHub struct {
+	mu    sync.Mutex
+	feeds map[string]*shareFeed
+}
+
+func newShareHub() *shareHub {
+	return &shareHub{feeds: make(map[string]*shareFeed)}
+}
+
+func shareKey(group string, shard int) string {
+	return group + "/" + strconv.Itoa(shard)
+}
+
+// feed returns the feed for (group, shard), creating it on first use.
+func (h *shareHub) feed(group string, shard int) *shareFeed {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := shareKey(group, shard)
+	f, ok := h.feeds[key]
+	if !ok {
+		f = newShareFeed()
+		h.feeds[key] = f
+	}
+	return f
+}
+
+// drop removes a feed (job eviction).
+func (h *shareHub) drop(group string, shard int) {
+	h.mu.Lock()
+	delete(h.feeds, shareKey(group, shard))
+	h.mu.Unlock()
+}
+
+// jobExchange adapts one job's feed plus its dialed gatherer to
+// core.ShareExchange. Publish stamps the shard index; History and Prime
+// delegate to the feed so checkpoints carry the publish history across a
+// migration.
+type jobExchange struct {
+	shard  int
+	feed   *shareFeed
+	gather ShareGatherer // nil for a single-shard group: nothing to gather
+}
+
+func (x *jobExchange) Publish(b core.ShareBatch) error {
+	b.Shard = x.shard
+	x.feed.publish(b)
+	return nil
+}
+
+func (x *jobExchange) Gather(ctx context.Context, epoch int) ([]core.ShareBatch, error) {
+	if x.gather == nil {
+		return nil, nil
+	}
+	return x.gather.Gather(ctx, epoch)
+}
+
+func (x *jobExchange) History() []core.ShareBatch { return x.feed.history() }
+
+func (x *jobExchange) Prime(history []core.ShareBatch) { x.feed.prime(history) }
+
+// validateShareSpec checks the cluster-share fields of a JobSpec against
+// the service configuration. Zero-valued fields mean the job does not
+// participate in cross-node sharing.
+func validateShareSpec(spec *JobSpec, limits *Config) error {
+	if spec.ShareGroup == "" {
+		if spec.ShareShard != 0 || spec.ShareShards != 0 || spec.ShareEvery != 0 {
+			return fmt.Errorf("share_group: required when share_shard, share_shards or share_every is set")
+		}
+		return nil
+	}
+	if spec.ShareShards < 1 {
+		return fmt.Errorf("share_shards: must be >= 1, got %d", spec.ShareShards)
+	}
+	if spec.ShareShard < 0 || spec.ShareShard >= spec.ShareShards {
+		return fmt.Errorf("share_shard: %d out of range [0,%d)", spec.ShareShard, spec.ShareShards)
+	}
+	if spec.ShareEvery < 0 {
+		return fmt.Errorf("share_every: must be >= 0, got %d", spec.ShareEvery)
+	}
+	if spec.Algorithm == "combined" {
+		return fmt.Errorf("share_group: cluster sharing does not support the combined variant")
+	}
+	if spec.ShareShards > 1 && limits.ShareDial == nil {
+		return fmt.Errorf("share_group: this node is not part of a cluster (no share dialer configured)")
+	}
+	return nil
+}

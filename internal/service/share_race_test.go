@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// echoGatherer is a ShareGatherer stub: every Gather immediately returns
+// one sibling batch for the requested epoch, so the share ingress path
+// (fold + telemetry) runs at full cadence without a second node.
+type echoGatherer struct{ shard int }
+
+func (g *echoGatherer) Gather(_ context.Context, epoch int) ([]core.ShareBatch, error) {
+	return []core.ShareBatch{{Shard: g.shard ^ 1, Epoch: epoch}}, nil
+}
+
+func (g *echoGatherer) Close() {}
+
+// TestShareSSEFanoutRace hammers the share fan-out under the race
+// detector: one cluster-share job publishes epoch batches while dozens of
+// SSE subscribers connect at random cursors, read a little, and drop —
+// with event-stream subscribers doing the same on the job event feed, and
+// the share ingress (Gather + fold) running concurrently throughout. A
+// final patient subscriber must then replay the complete feed: contiguous
+// ids from its cursor and a terminating done event.
+func TestShareSSEFanoutRace(t *testing.T) {
+	svc := New(Config{
+		Workers:        1,
+		QueueDepth:     4,
+		MaxEvaluations: -1,
+		ShareDial: func(_ string, shard, _ int, _ *telemetry.Telemetry) (ShareGatherer, error) {
+			return &echoGatherer{shard: shard}, nil
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Close()
+
+	j, err := svc.Submit(JobSpec{
+		Instance:       InstanceSpec{Class: "R1", N: 50, Seed: 3},
+		Algorithm:      "sequential",
+		Seed:           11,
+		MaxEvaluations: 40000,
+		ShareGroup:     "racegroup",
+		ShareShard:     0,
+		ShareShards:    2,
+		ShareEvery:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	churn := func(url string) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(len(url)))) //nolint:gosec // test jitter only
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(fmt.Sprintf("%s?after=%d", url, rng.Intn(8)))
+			if err != nil {
+				continue
+			}
+			// Read a handful of lines, then abandon the stream mid-flight.
+			sc := bufio.NewScanner(resp.Body)
+			for i := 0; i < rng.Intn(20); i++ {
+				if !sc.Scan() {
+					break
+				}
+			}
+			resp.Body.Close()
+		}
+	}
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go churn(srv.URL + "/v1/shares/racegroup/0")
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go churn(srv.URL + "/v1/jobs/" + j.ID + "/events")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !j.State().Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish under subscriber churn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	if st := j.State(); st != StateDone {
+		t.Fatalf("job finished %s under churn", st)
+	}
+
+	// Full replay: every batch in order, then done.
+	resp, err := http.Get(srv.URL + "/v1/shares/racegroup/0?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var batches, wantID int64
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			wantID++
+			if line != fmt.Sprintf("id: %d", wantID) {
+				t.Fatalf("replay out of sequence: got %q, want id %d", line, wantID)
+			}
+		case line == "event: share":
+			batches++
+		case line == "event: done":
+			sawDone = true
+		}
+		if sawDone {
+			break
+		}
+	}
+	if batches == 0 {
+		t.Fatal("share feed replayed no batches")
+	}
+	if !sawDone {
+		t.Fatal("share feed never terminated with a done event")
+	}
+}
+
+// TestShareIngressConcurrentSubscribers pins the feed primitives under
+// direct concurrent use: many publishers racing many since-cursors, one
+// finish, no lost updates.
+func TestShareIngressConcurrentSubscribers(t *testing.T) {
+	feed := newShareFeed()
+	const n = 200
+	var wg sync.WaitGroup
+	var read int64
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			after := 0
+			for {
+				batches, notify, _, done := feed.since(after)
+				after += len(batches)
+				atomic.AddInt64(&read, int64(len(batches)))
+				if done && len(batches) == 0 {
+					return
+				}
+				if len(batches) == 0 {
+					<-notify
+				}
+			}
+		}()
+	}
+	for i := 1; i <= n; i++ {
+		feed.publish(core.ShareBatch{Epoch: i})
+	}
+	feed.finish()
+	wg.Wait()
+	if read != 8*n {
+		t.Fatalf("subscribers read %d batches in total, want %d", read, 8*n)
+	}
+}

@@ -301,6 +301,66 @@ func (s *ShareStats) Received(accepted bool) {
 	}
 }
 
+// PeerShareStats instruments the cross-node share traffic received from
+// one sibling shard of a cluster-share group.
+type PeerShareStats struct {
+	Batches   Counter // epoch batches received from this peer
+	Solutions Counter // solutions carried by those batches
+	Malformed Counter // frames from this peer that failed to decode
+}
+
+// Batch counts one received batch carrying n solutions.
+func (p *PeerShareStats) Batch(n int) {
+	if p == nil {
+		return
+	}
+	p.Batches.Inc()
+	p.Solutions.Add(int64(n))
+}
+
+// Bad counts one undecodable frame.
+func (p *PeerShareStats) Bad() {
+	if p == nil {
+		return
+	}
+	p.Malformed.Inc()
+}
+
+// PeerShareTable maps peer labels ("shard-2", or a node address) to their
+// PeerShareStats, lock-free on the hit path.
+type PeerShareTable struct{ m sync.Map }
+
+// Get returns the stats for the named peer, creating them on first use.
+// It returns nil on a nil table.
+func (t *PeerShareTable) Get(peer string) *PeerShareStats {
+	if t == nil {
+		return nil
+	}
+	if v, ok := t.m.Load(peer); ok {
+		return v.(*PeerShareStats)
+	}
+	v, _ := t.m.LoadOrStore(peer, &PeerShareStats{})
+	return v.(*PeerShareStats)
+}
+
+// Snapshot returns the per-peer counters.
+func (t *PeerShareTable) Snapshot() map[string]map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]map[string]int64)
+	t.m.Range(func(k, v any) bool {
+		p := v.(*PeerShareStats)
+		out[k.(string)] = map[string]int64{
+			"batches":   p.Batches.Load(),
+			"solutions": p.Solutions.Load(),
+			"malformed": p.Malformed.Load(),
+		}
+		return true
+	})
+	return out
+}
+
 // ArchiveStats instruments one class of bounded non-dominated store
 // (M_archive or M_nondom, aggregated over all processes).
 type ArchiveStats struct {
@@ -702,6 +762,8 @@ type Telemetry struct {
 	Fault   FaultStats
 	Ckpt    CheckpointStats
 	Ops     OpTable
+	// Peers breaks the cross-node share ingress down by sibling shard.
+	Peers PeerShareTable
 
 	log    *slog.Logger
 	writer *Writer
@@ -775,6 +837,15 @@ func (t *Telemetry) WorkerGroup() *WorkerStats {
 		return nil
 	}
 	return &t.Worker
+}
+
+// PeerShares returns the per-peer cross-node share instruments (nil when
+// disabled).
+func (t *Telemetry) PeerShares() *PeerShareTable {
+	if t == nil {
+		return nil
+	}
+	return &t.Peers
 }
 
 // ShareGroup returns the share-traffic instruments (nil when disabled).
@@ -880,6 +951,7 @@ func (t *Telemetry) Snapshot() map[string]any {
 			"accepted": t.Share.Accepted.Load(),
 			"rejected": t.Share.Rejected.Load(),
 		},
+		"peer_shares": t.Peers.Snapshot(),
 		"archive": map[string]int64{
 			"accepts":   t.Archive.Accepts.Load(),
 			"rejects":   t.Archive.Rejects.Load(),
