@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e chaos cluster-e2e flaky-guard fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e dynamic-e2e chaos cluster-e2e flaky-guard fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -69,6 +69,21 @@ recover-e2e:
 	$(GO) test -race -count 1 -run 'TestResumeBitIdentical|TestResumeRejectsMismatch|TestCheckpointConfigGuards' ./internal/core/
 	$(GO) test -race -count 1 -run 'TestJournal|TestDurable|TestCrashRecovery|TestIdempotent' ./internal/service/
 	$(GO) test -race -count 1 -v -run 'TestKill9Recovery' ./cmd/tsmod/
+
+# dynamic-e2e runs the live re-optimization acceptance battery under the
+# race detector: the mutation model and splice/repair unit tests with the
+# live-equals-resume and bit-identical replay goldens across all variants,
+# the schedule-cache Rebind splice, the service PATCH/SSE/WAL e2e (batch
+# and inline mutations, epoch pinning, 409/400 surfaces, flight-recorder
+# marker, HTTP-level determinism), the tsmoctl mutate CLI with a timed
+# -script replay, and the kill -9 mutation-replay chaos test (a real tsmod
+# SIGKILLed in both exactly-once windows).
+dynamic-e2e:
+	$(GO) test -race -count 1 ./internal/dynamic/
+	$(GO) test -race -count 1 -run 'TestEvalRebind' ./internal/solution/
+	$(GO) test -race -count 1 -run 'TestE2EDynamic|TestE2EMutate|TestE2EResumeGranularKMismatch' ./internal/service/
+	$(GO) test -race -count 1 -run 'TestMutateCommand' ./cmd/tsmoctl/
+	$(GO) test -race -count 1 -v -run 'TestKill9MutationReplay' ./cmd/tsmod/
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector: every scenario must complete, stay bit-identical across

@@ -6,6 +6,8 @@
 //	tsmoctl status j000001
 //	tsmoctl events j000001          # follow the SSE stream
 //	tsmoctl result j000001 > front.json
+//	tsmoctl mutate -cancel 17 j000001
+//	tsmoctl mutate -script rush-hour.json j000001
 //	tsmoctl cancel j000001
 //	tsmoctl list
 //
@@ -30,13 +32,16 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/cluster"
+	"repro/internal/dynamic"
 	"repro/internal/service"
+	"repro/internal/vrptw"
 )
 
 func main() {
@@ -53,6 +58,7 @@ commands:
   status   print a job's status, live front and quality metrics
   events   follow a job's event stream (SSE)
   result   print a finished job's front as a result file
+  mutate   mutate a live job's instance (or replay a timed script)
   cancel   cancel a job
   list     list retained jobs
   health   print the daemon's health snapshot
@@ -90,6 +96,8 @@ func run(args []string, out io.Writer) error {
 		return c.jobGet(rest, "status", "")
 	case "result":
 		return c.jobGet(rest, "result", "/result")
+	case "mutate":
+		return c.mutate(rest)
 	case "events":
 		return c.events(rest)
 	case "cancel":
@@ -220,11 +228,31 @@ func (c *client) submit(args []string) error {
 	fmt.Fprintf(c.out, "job %s %s\n", sub.ID, sub.State)
 	if *wait {
 		if toCluster {
-			return c.followCluster(sub.ID)
+			if err := c.followCluster(sub.ID); err != nil {
+				return err
+			}
+		} else if err := c.follow(sub.ID, 0); err != nil {
+			return err
 		}
-		return c.follow(sub.ID, 0)
+		return c.waitResult(sub.ID, *retries)
 	}
 	return nil
+}
+
+// waitResult fetches a finished job's result and prints it. A 409 —
+// the terminal event raced the result persistence, or a cluster shard
+// is still merging — is transient here and retried honoring the
+// server's Retry-After hint, exactly like the submit path honors it on
+// 429/503.
+func (c *client) waitResult(id string, retries int) error {
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	}, retries, func(code int) bool { return code == http.StatusConflict || transientStatus(code) })
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return c.printJSON(resp)
 }
 
 // followCluster polls a coordinator job until it is terminal, printing
@@ -293,6 +321,135 @@ func (c *client) cluster(args []string) error {
 	}
 }
 
+// mutate schedules live instance mutations on a running job, or — with
+// -script — replays a timed scenario of them. Each flag contributes one
+// mutation; several may be combined into a single batch, which lands on
+// one epoch (checkpoint barrier) atomically.
+func (c *client) mutate(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ContinueOnError)
+	epoch := fs.Int("epoch", 0, "pin the batch to this checkpoint barrier (0 = the next one the run reaches)")
+	cancelC := fs.Int("cancel", 0, "cancel this customer (index on the current instance)")
+	add := fs.String("add", "", "add a customer: x,y,demand,ready,due,service")
+	window := fs.String("window", "", "shift a time window: customer,ready,due")
+	demand := fs.String("demand", "", "update a demand: customer,value")
+	script := fs.String("script", "", "timed replay: JSON file of {at_seconds, epoch, mutations} entries")
+	retries := fs.Int("retries", 4, "transient-failure retries (429/503/5xx/network), exponential backoff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := jobID("mutate", fs.Args())
+	if err != nil {
+		return err
+	}
+	if *script != "" {
+		return c.mutateScript(id, *script, *retries)
+	}
+	var muts []dynamic.Mutation
+	if *cancelC > 0 {
+		muts = append(muts, dynamic.Mutation{Version: dynamic.Version, Op: dynamic.CancelCustomer, Customer: *cancelC})
+	}
+	if *add != "" {
+		f, err := parseFloats("-add", *add, 6)
+		if err != nil {
+			return err
+		}
+		site := vrptw.Site{X: f[0], Y: f[1], Demand: f[2], Ready: f[3], Due: f[4], Service: f[5]}
+		muts = append(muts, dynamic.Mutation{Version: dynamic.Version, Op: dynamic.AddCustomer, Site: &site})
+	}
+	if *window != "" {
+		f, err := parseFloats("-window", *window, 3)
+		if err != nil {
+			return err
+		}
+		muts = append(muts, dynamic.Mutation{Version: dynamic.Version, Op: dynamic.ShiftWindow,
+			Customer: int(f[0]), Ready: f[1], Due: f[2]})
+	}
+	if *demand != "" {
+		f, err := parseFloats("-demand", *demand, 2)
+		if err != nil {
+			return err
+		}
+		muts = append(muts, dynamic.Mutation{Version: dynamic.Version, Op: dynamic.UpdateDemand,
+			Customer: int(f[0]), Demand: f[1]})
+	}
+	if len(muts) == 0 {
+		return fmt.Errorf("mutate: provide at least one of -cancel, -add, -window, -demand (or -script)")
+	}
+	return c.sendMutations(id, *epoch, muts, *retries)
+}
+
+// scriptEntry is one step of a timed mutation replay script: a batch of
+// mutations dispatched at_seconds after the replay starts, optionally
+// pinned to an explicit epoch so the scenario replays deterministically.
+type scriptEntry struct {
+	AtSeconds float64            `json:"at_seconds"`
+	Epoch     int                `json:"epoch,omitempty"`
+	Mutations []dynamic.Mutation `json:"mutations"`
+}
+
+// mutateScript replays a timed mutation scenario against a live job:
+// entries fire in at_seconds order, each as one PATCH batch.
+func (c *client) mutateScript(id, path string, retries int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []scriptEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("parsing script %s: %w", path, err)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].AtSeconds < entries[j].AtSeconds })
+	start := time.Now()
+	for i, e := range entries {
+		if d := time.Duration(e.AtSeconds*float64(time.Second)) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		if err := c.sendMutations(id, e.Epoch, e.Mutations, retries); err != nil {
+			return fmt.Errorf("script entry %d (t=%gs): %w", i, e.AtSeconds, err)
+		}
+	}
+	return nil
+}
+
+// sendMutations PATCHes one mutation batch and prints the server's
+// answer (the epoch the batch landed on).
+func (c *client) sendMutations(id string, epoch int, muts []dynamic.Mutation, retries int) error {
+	body, err := json.Marshal(service.MutateRequest{Epoch: epoch, Mutations: muts})
+	if err != nil {
+		return err
+	}
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPatch, c.base+"/v1/jobs/"+id+"/instance", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, retries, transientStatus)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return c.printJSON(resp)
+}
+
+// parseFloats splits a comma-separated flag value into exactly n floats.
+func parseFloats(flagName, v string, n int) ([]float64, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("mutate: %s wants %d comma-separated values, got %d", flagName, n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mutate: %s value %q: %w", flagName, p, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
 // randomKey generates a fresh idempotency key.
 func randomKey() string {
 	var b [16]byte
@@ -309,15 +466,36 @@ func randomKey() string {
 // jitter. A Retry-After header on 429/503 overrides the computed delay.
 // Non-transient statuses (400, 404, ...) return immediately.
 func postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
+	return doWithRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, retries, transientStatus)
+}
+
+// doWithRetry is the one retry loop every polling path shares: it sends
+// freshly built requests until one returns a status transient() rejects,
+// backing off with capped exponential delay plus jitter between
+// attempts. A Retry-After header on a transient response overrides the
+// computed delay. The request is rebuilt per attempt so bodies replay
+// from the start.
+func doWithRetry(build func() (*http.Request, error), retries int, transient func(int) bool) (*http.Response, error) {
 	const (
 		baseDelay = 250 * time.Millisecond
 		maxDelay  = 5 * time.Second
 	)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
 		switch {
-		case err == nil && !transientStatus(resp.StatusCode):
+		case err == nil && !transient(resp.StatusCode):
 			return resp, nil
 		case err == nil:
 			lastErr = fmt.Errorf("server answered %s", resp.Status)

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/service"
 )
@@ -93,6 +97,84 @@ func TestClientAgainstInProcessDaemon(t *testing.T) {
 	}
 	if _, err := ctl(t, addr); err == nil {
 		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestMutateCommand(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 4, MaxEvaluations: -1, CheckpointEvery: 3})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	// A long blocker occupies the single worker so the target stays queued
+	// and the mutation epochs land deterministically.
+	out, err := ctl(t, addr, "submit", "-class", "R1", "-n", "40", "-evals", "50000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := strings.Fields(out)[1]
+	out, err = ctl(t, addr, "submit", "-class", "R1", "-n", "40", "-evals", "60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := strings.Fields(out)[1]
+
+	// Flag form: two mutations combined into one batch on the next epoch.
+	out, err = ctl(t, addr, "mutate", "-cancel", "7", "-demand", "9,5", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"epoch"`) {
+		t.Errorf("mutate output missing the landed epoch:\n%s", out)
+	}
+
+	// Script form: a timed replay pinned to an explicit epoch.
+	script := filepath.Join(t.TempDir(), "scenario.json")
+	entries := `[{"at_seconds": 0, "epoch": 3, "mutations": [{"version": 1, "op": "cancel_customer", "customer": 3}]}]`
+	if err := os.WriteFile(script, []byte(entries), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, addr, "mutate", "-script", script, target); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ctl(t, addr, "mutate", target); err == nil {
+		t.Error("mutate with no mutation flags accepted")
+	}
+
+	if _, err := ctl(t, addr, "cancel", blocker); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var st service.Status
+	for {
+		out, err = ctl(t, addr, "status", target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(out), &st); err != nil {
+			t.Fatalf("status output is not JSON: %v\n%s", err, out)
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("target never finished; last status:\n%s", out)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("target state %s (%s), want done", st.State, st.Error)
+	}
+	if st.MutationEpochs != 2 || st.MutationsApplied != 3 || st.MutationsRejected != 0 {
+		t.Errorf("mutation counters: epochs %d applied %d rejected %d, want 2/3/0",
+			st.MutationEpochs, st.MutationsApplied, st.MutationsRejected)
+	}
+	if st.LastMutationEpoch != 3 {
+		t.Errorf("last mutation epoch %d, want 3", st.LastMutationEpoch)
 	}
 }
 

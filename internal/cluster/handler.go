@@ -94,6 +94,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	ff, err := c.MergedResult(id)
 	if err != nil {
+		// The merge will succeed once every shard is done; tell polling
+		// clients when to ask again.
+		c.retryAfter(w)
 		c.writeError(w, http.StatusConflict, err)
 		return
 	}

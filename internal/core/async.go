@@ -358,6 +358,18 @@ func asyncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, work
 				st.InitialPhase = initialPhase
 				st.Shares = shares
 				cfg.coll.put(p.ID(), st)
+				if cfg.haltDue(b) {
+					// Mutation epoch: exit the segment on the quiesced
+					// barrier's parts. The captured pending candidates
+					// reference the pre-mutation instance; the mutation
+					// source drops them during repair (counted as the
+					// restart's lost iterations). The sink emit is skipped —
+					// the halt barrier's checkpoint only ever persists in
+					// its patched form.
+					cfg.markHalt(b)
+					ckptSpan.End()
+					break
+				}
 				cfg.emitCheckpoint(b)
 			} else {
 				cfg.Telemetry.CheckpointGroup().Skip()

@@ -51,9 +51,27 @@ type Checkpoint struct {
 	// InstanceDigest and ConfigDigest fingerprint the instance and the
 	// search-shaping configuration; ResumeContext refuses to resume
 	// against a different instance or config.
-	InstanceDigest string           `json:"instance_digest"`
-	ConfigDigest   string           `json:"config_digest"`
-	Parts          []*SearcherState `json:"parts"`
+	InstanceDigest string `json:"instance_digest"`
+	ConfigDigest   string `json:"config_digest"`
+	// GranularK and EvalWorkers are the human-readable half of the config
+	// fingerprint: recorded so a mismatch surfaces as a clear spec-level
+	// error rather than an opaque digest failure. GranularK shapes the
+	// trajectory and must match on resume; EvalWorkers only shards the
+	// delta evaluation (bit-identical to serial), so it may change across
+	// a resume and is recorded for the status/journal note only.
+	GranularK   int `json:"granular_k,omitempty"`
+	EvalWorkers int `json:"eval_workers,omitempty"`
+	// WaitTimeout, RecvTimeout and EvictAfter are the materialized
+	// coordination parameters the run derived at its start (validate
+	// scales the timeouts by instance size when they are unset). They are
+	// part of the config fingerprint, so a resume adopts them instead of
+	// re-deriving: after an instance mutation the deriving instance no
+	// longer exists, and a re-derivation from the mutated one would shift
+	// both the digest and the trajectory.
+	WaitTimeout float64          `json:"wait_timeout,omitempty"`
+	RecvTimeout float64          `json:"recv_timeout,omitempty"`
+	EvictAfter  int              `json:"evict_after,omitempty"`
+	Parts       []*SearcherState `json:"parts"`
 }
 
 // SearcherState is one process's part of a checkpoint: the full Algorithm 1
@@ -126,8 +144,15 @@ type PendingCand struct {
 	Born   int                 `json:"born"`
 }
 
-// ckptMsg is the payload of the checkpoint-barrier messages.
-type ckptMsg struct{ barrier int }
+// ckptMsg is the payload of the checkpoint-barrier messages. halt is set
+// on a collaborative tagCkptGo when the barrier is a mutation epoch: the
+// peer exits its body right after capturing, instead of resuming the
+// search. The flag never changes message cost, so a halting barrier
+// consumes exactly the virtual time of a plain one.
+type ckptMsg struct {
+	barrier int
+	halt    bool
+}
 
 // checkpointEnvelope is the outer wire form: the payload is kept as raw
 // bytes so the checksum verifies over exactly what was written.
@@ -207,6 +232,12 @@ func (ck *Checkpoint) matches(alg Algorithm, cfg *Config) error {
 	}
 	if ck.InstanceDigest != cfg.instDigest {
 		return fmt.Errorf("core: checkpoint instance digest mismatch (checkpoint %s, run %s)", ck.InstanceDigest, cfg.instDigest)
+	}
+	if ck.GranularK != cfg.GranularK {
+		// Checked before the opaque digest so the most common spec drift —
+		// resuming or mutating a run with a different neighborhood shape —
+		// names the field instead of failing as a generic checksum error.
+		return fmt.Errorf("core: checkpoint was cut with granular_k=%d but this run has granular_k=%d; the neighborhood shape is part of the search trajectory and must match", ck.GranularK, cfg.GranularK)
 	}
 	if ck.ConfigDigest != cfg.cfgDigest {
 		return fmt.Errorf("core: checkpoint config digest mismatch (checkpoint %s, run %s)", ck.ConfigDigest, cfg.cfgDigest)
@@ -392,6 +423,11 @@ func (c *Config) emitCheckpoint(barrier int) {
 		Every:          c.CheckpointEvery,
 		InstanceDigest: c.instDigest,
 		ConfigDigest:   c.cfgDigest,
+		GranularK:      c.GranularK,
+		EvalWorkers:    c.EvalWorkers,
+		WaitTimeout:    c.WaitTimeout,
+		RecvTimeout:    c.RecvTimeout,
+		EvictAfter:     c.EvictAfter,
 		Parts:          parts,
 	}
 	if err := c.CheckpointSink(ck); err != nil {
@@ -589,7 +625,13 @@ func ckptWorkers(p deme.Proc, cfg *Config, workers []int, barrier int) bool {
 // re-folds them identically. The coordinator captures after the final ack,
 // so its snapshot clock covers the whole barrier, and the acks give the
 // part deposits a happens-before edge to the assembly on both backends.
-func collabBarrier(p deme.Proc, cfg *Config, barrier int, fold func(deme.Message) error, capture func()) error {
+//
+// halt marks the barrier as a mutation epoch: peers that capture are also
+// told (via the halt flag on tagCkptGo) to exit their bodies. The flag is
+// only raised when phase one completed — a peer must never halt while the
+// coordinator abandons the barrier and searches on. It returns whether
+// the barrier completed with every part deposited (false: skipped).
+func collabBarrier(p deme.Proc, cfg *Config, barrier int, halt bool, fold func(deme.Message) error, capture func()) (bool, error) {
 	cs := cfg.Telemetry.CheckpointGroup()
 	start := p.Now()
 	defer func() { cs.Barrier(p.Now() - start) }()
@@ -647,15 +689,17 @@ func collabBarrier(p deme.Proc, cfg *Config, barrier int, fold func(deme.Message
 	// Release every paused peer whether or not the barrier completes:
 	// they capture on the go message and resume searching; stray second
 	// acks of an abandoned barrier are ignored by the main fold loops.
+	// The halt flag rides only a completed phase one — an abandoned
+	// barrier must not strand halted peers behind a searching coordinator.
 	for _, id := range acked {
-		p.Send(id, tagCkptGo, ckptMsg{barrier: barrier}, 0)
+		p.Send(id, tagCkptGo, ckptMsg{barrier: barrier, halt: halt && ok}, 0)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	if !ok {
 		cs.Skip()
-		return nil
+		return false, nil
 	}
 	aw2 := make(map[int]bool, len(acked))
 	for _, id := range acked {
@@ -663,20 +707,32 @@ func collabBarrier(p deme.Proc, cfg *Config, barrier int, fold func(deme.Message
 	}
 	ok, err = wait(aw2, nil, true)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if ok {
 		capture()
-		cfg.emitCheckpoint(barrier)
+		// A halt barrier's checkpoint never reaches the sink unpatched:
+		// the mutation source's Apply produces the only persisted form of
+		// this barrier, so on disk a mutation epoch's checkpoint is always
+		// the post-splice one and recovery can fold exactly the mutations
+		// at or below the persisted barrier.
+		if !halt {
+			cfg.emitCheckpoint(barrier)
+		}
 	} else {
 		cs.Skip()
+		if halt {
+			// Peers already halted on the go message; a coordinator that
+			// searched on would leave them stranded. Surface the fault.
+			return false, fmt.Errorf("core: mutation barrier %d lost a peer after the halt was released", barrier)
+		}
 	}
 	for _, m := range deferred {
 		if err := fold(m); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return ok, nil
 }
 
 // ResumeContext resumes a checkpointed run: the algorithm, processor
@@ -696,6 +752,19 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, in *vrptw.Instance, cfg 
 	cfg.Seed = ck.Seed
 	cfg.Processors = ck.Processors
 	cfg.CheckpointEvery = ck.Every
+	// Adopt the materialized coordination parameters of the run that cut
+	// the checkpoint: re-deriving them from the (possibly mutated)
+	// instance would shift the config digest and the trajectory. An
+	// explicit caller override still wins — the digest check reports it.
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = ck.WaitTimeout
+	}
+	if cfg.RecvTimeout == 0 {
+		cfg.RecvTimeout = ck.RecvTimeout
+	}
+	if cfg.EvictAfter == 0 {
+		cfg.EvictAfter = ck.EvictAfter
+	}
 	cfg.resume = ck
 	return RunContext(ctx, alg, in, cfg, rt)
 }

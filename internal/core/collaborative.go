@@ -109,19 +109,25 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 	// folding shares, sending nothing — until process 0 releases the
 	// barrier, then capture and ack a second time. Shares folded here
 	// were sent before their sender saw the request, so they land on the
-	// pre-capture side of the cut on both ends.
-	pause := func(barrier int) error {
+	// pre-capture side of the cut on both ends. The returned flag is the
+	// go message's halt marker: a mutation epoch, after which this body
+	// must exit on the part it just captured.
+	pause := func(barrier int) (bool, error) {
 		p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
 		for {
 			m, ok := p.RecvTimeout(cfg.RecvTimeout)
 			if !ok {
 				if cfg.cancelled() || !p.Alive(0) {
-					return nil // coordinator gone: abandon the barrier
+					return false, nil // coordinator gone: abandon the barrier
 				}
 				continue
 			}
 			switch m.Tag {
 			case tagCkptGo:
+				halt := false
+				if cm, okPayload := m.Data.(ckptMsg); okPayload {
+					halt = cm.halt
+				}
 				if _, isSim := p.(deme.Snapshotter); isSim {
 					// Simulator: ack first so the captured clock includes
 					// the send overhead; the deposit is visible before
@@ -134,7 +140,7 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 					cfg.coll.put(p.ID(), capturePart(barrier))
 					p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
 				}
-				return nil
+				return halt, nil
 			case tagCkptReq:
 				// The coordinator abandoned the previous barrier and
 				// opened the next one; answer the fresh request.
@@ -144,13 +150,14 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 				p.Send(0, tagCkptAck, ckptMsg{barrier: barrier}, 0)
 			default:
 				if err := foldShare(m); err != nil {
-					return err
+					return false, err
 				}
 			}
 		}
 	}
 
-	for !s.done(p) {
+	halted := false
+	for !s.done(p) && !halted {
 		// Fold in solutions shared by the other searchers.
 		for {
 			m, ok := p.TryRecv()
@@ -163,14 +170,23 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 					fg.Malformed()
 					continue
 				}
-				if err := pause(cm.barrier); err != nil {
+				h, err := pause(cm.barrier)
+				if err != nil {
 					return s.failOutcome(err)
+				}
+				if h {
+					halted = true
 				}
 				continue
 			}
 			if err := foldShare(m); err != nil {
 				return s.failOutcome(err)
 			}
+		}
+		if halted {
+			// Mutation epoch: exit on the part captured inside pause; the
+			// coordinator is halting too.
+			break
 		}
 
 		cands := s.generate(p, s.neighborhood)
@@ -202,17 +218,25 @@ func collaborativeBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand
 
 		if p.ID() == 0 && cfg.checkpointDue(s.iter) && !s.done(p) {
 			b := s.iter / cfg.CheckpointEvery
+			halt := cfg.haltDue(b)
 			ckptSpan := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
-			err := collabBarrier(p, cfg, b, foldShare, func() {
+			completed, err := collabBarrier(p, cfg, b, halt, foldShare, func() {
 				cfg.coll.put(p.ID(), capturePart(b))
 			})
 			ckptSpan.End()
 			if err != nil {
 				return s.failOutcome(err)
 			}
+			if halt && completed {
+				// Mutation epoch: every peer halted on the go message;
+				// exit on the barrier's parts. A skipped barrier retries
+				// at the next one.
+				cfg.markHalt(b)
+				halted = true
+			}
 		}
 	}
-	if cfg.checkpointing() {
+	if cfg.checkpointing() && !halted {
 		// Final part: barriers of still-running peers need this
 		// searcher's state even after its body returns. Written before
 		// the return, so Alive(id) == false implies the part is present.

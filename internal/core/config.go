@@ -224,6 +224,18 @@ type Config struct {
 	// Share set picks 50. It shapes the trajectory, so it is part of the
 	// checkpoint fingerprint (sibling shards must agree on it).
 	ShareEvery int
+	// Dynamic, when non-nil, turns the run into a re-optimization session:
+	// after every completed checkpoint barrier the source is polled, and
+	// when it requests a halt the run pauses at that barrier, the
+	// assembled checkpoint is handed to the source's Apply — which splices
+	// the pending instance mutations and repairs every part — and the run
+	// warm-restarts from the patched checkpoint. Mutation epochs are
+	// checkpoint barriers, so Dynamic requires CheckpointEvery > 0 and
+	// inherits its restrictions (no Combined, RecordTrajectory or
+	// MaxSeconds). Like Telemetry, the source itself is excluded from the
+	// checkpoint fingerprint: the mutations it applies re-fingerprint the
+	// instance instead.
+	Dynamic MutationSource
 	// Telemetry, when non-nil, enables the observability layer: atomic
 	// search/operator/delta counters, async decision-function tracing,
 	// worker idle accounting, and (when the layer carries sinks) the
@@ -256,6 +268,11 @@ type Config struct {
 	cfgDigest  string
 	coll       *ckptCollector
 	resume     *Checkpoint
+
+	// haltB is the barrier the current segment halted at for a mutation
+	// (0: none). Written by the coordinating process right before its body
+	// returns, read by RunContext after the segment joins.
+	haltB int
 }
 
 // cancelled reports whether the run's context (if any) is done.
@@ -375,6 +392,15 @@ func (c *Config) validate(in *vrptw.Instance, alg Algorithm) error {
 		// Without an exchange the epoch length is inert; zero it so it
 		// cannot perturb the config digest of a non-cluster run.
 		c.ShareEvery = 0
+	}
+	if c.Dynamic != nil && c.CheckpointEvery <= 0 {
+		return fmt.Errorf("core: a Dynamic mutation source requires CheckpointEvery > 0 (mutation epochs are checkpoint barriers)")
+	}
+	if c.Dynamic != nil && c.Share != nil {
+		// The cluster exchange's publish history holds old-instance routes
+		// and peers have no mutation coordination; combining them would
+		// splice foreign solutions of a different instance into the run.
+		return fmt.Errorf("core: a Dynamic mutation source cannot be combined with cluster sharing")
 	}
 	if c.CheckpointEvery > 0 {
 		if alg == Combined {

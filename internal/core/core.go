@@ -107,13 +107,7 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 			if err := ck.matches(alg, &cfg); err != nil {
 				return nil, err
 			}
-			if rs, ok := rt.(deme.Restorer); ok {
-				snaps := make([]deme.ProcSnapshot, cfg.Processors)
-				for i, part := range ck.Parts {
-					snaps[i] = part.Proc
-				}
-				rs.RestoreProcs(snaps)
-			}
+			restoreRuntime(rt, ck, cfg.Processors)
 		}
 	}
 	// Pre-derive one deterministic RNG seed per process so results do
@@ -165,13 +159,67 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 			}
 		}
 	}
-	if err := deme.RunWith(ctx, rt, cfg.Processors, body); err != nil {
-		return nil, fmt.Errorf("core: %v run failed: %w", alg, err)
-	}
-	for i := range outcomes {
-		if outcomes[i].err != nil {
-			return nil, fmt.Errorf("core: %v run failed on process %d: %w", alg, i, outcomes[i].err)
+	// Segment loop: a run without a mutation source is one segment. With
+	// one, every mutation epoch ends the segment at its checkpoint barrier;
+	// the barrier's parts are assembled into a checkpoint, the source
+	// splices the pending mutations (derived instance + repaired parts),
+	// and the next segment warm-restarts through the ordinary resume path —
+	// so a mutated run on the simulator replays bit-identically from
+	// (seed, mutation log).
+	for {
+		cfg.haltB = 0
+		if err := deme.RunWith(ctx, rt, cfg.Processors, body); err != nil {
+			return nil, fmt.Errorf("core: %v run failed: %w", alg, err)
 		}
+		for i := range outcomes {
+			if outcomes[i].err != nil {
+				return nil, fmt.Errorf("core: %v run failed on process %d: %w", alg, i, outcomes[i].err)
+			}
+		}
+		hb := cfg.haltB
+		if hb == 0 || cfg.cancelled() {
+			break
+		}
+		parts := cfg.coll.assemble(hb)
+		if parts == nil {
+			return nil, fmt.Errorf("core: mutation barrier %d left incomplete parts", hb)
+		}
+		ck := &Checkpoint{
+			Barrier:        hb,
+			Algorithm:      alg.String(),
+			Processors:     cfg.Processors,
+			Seed:           cfg.Seed,
+			Every:          cfg.CheckpointEvery,
+			InstanceDigest: cfg.instDigest,
+			ConfigDigest:   cfg.cfgDigest,
+			GranularK:      cfg.GranularK,
+			EvalWorkers:    cfg.EvalWorkers,
+			WaitTimeout:    cfg.WaitTimeout,
+			RecvTimeout:    cfg.RecvTimeout,
+			EvictAfter:     cfg.EvictAfter,
+			Parts:          parts,
+		}
+		msp := tr.Start(runSpan, "mutation").SetInt("barrier", int64(hb))
+		newIn, newCk, err := cfg.Dynamic.Apply(trace.NewContext(ctx, tr, msp), in, ck)
+		msp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: applying mutations at barrier %d: %w", hb, err)
+		}
+		wsp := tr.Start(runSpan, "warm_restart").SetInt("barrier", int64(hb))
+		in = newIn
+		cfg.instDigest = instanceDigest(in)
+		if newCk.InstanceDigest != cfg.instDigest {
+			wsp.End()
+			return nil, fmt.Errorf("core: mutation source returned a checkpoint whose instance digest does not match the mutated instance")
+		}
+		if err := newCk.matches(alg, &cfg); err != nil {
+			wsp.End()
+			return nil, fmt.Errorf("core: mutated checkpoint does not resume this run: %w", err)
+		}
+		cfg.resume = newCk
+		restoreRuntime(rt, newCk, cfg.Processors)
+		cfg.Telemetry.DynamicGroup().WarmRestart()
+		wsp.End()
 	}
 
 	fronts := make([][]*solution.Solution, len(outcomes))
@@ -192,6 +240,21 @@ func RunContext(ctx context.Context, alg Algorithm, in *vrptw.Instance, cfg Conf
 		res.Shares += outcomes[i].shares
 	}
 	return res, nil
+}
+
+// restoreRuntime hands a checkpoint's runtime-level snapshots to the
+// backend (a no-op on backends without runtime state): the next segment's
+// processes continue the modeled clocks, speed skews and jitter streams.
+func restoreRuntime(rt deme.Runtime, ck *Checkpoint, procs int) {
+	rs, ok := rt.(deme.Restorer)
+	if !ok {
+		return
+	}
+	snaps := make([]deme.ProcSnapshot, procs)
+	for i, part := range ck.Parts {
+		snaps[i] = part.Proc
+	}
+	rs.RestoreProcs(snaps)
 }
 
 // procRange returns the ids [lo, hi).

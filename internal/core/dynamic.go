@@ -1,0 +1,62 @@
+// Dynamic re-optimization support: a checkpointing run can carry a
+// MutationSource that turns it into an online session. Mutation epochs are
+// checkpoint barriers — the exact consistent cut the durability layer
+// already pays for — so a halt costs no protocol beyond the barrier the
+// run was taking anyway. When the source requests a halt at barrier b,
+// every process exits its body right after depositing its barrier-b part,
+// RunContext assembles the parts into a Checkpoint, hands it (with the
+// live instance) to the source's Apply — which splices the mutations into
+// a derived instance and repairs every part so it restores cleanly — and
+// the next segment warm-restarts from the patched checkpoint. A segment
+// resume is byte-for-byte the checkpoint-resume path, so a mutated run
+// replays bit-identically from (seed, mutation log) on the simulator
+// backend, and a live mutation at epoch E equals resuming the barrier-E
+// checkpoint, applying the same mutation offline, and running on.
+package core
+
+import (
+	"context"
+
+	"repro/internal/vrptw"
+)
+
+// MutationSource feeds instance mutations into a running job. Implemented
+// by internal/dynamic; core only sees the two hooks it needs.
+//
+// HaltAt is polled by the coordinating process (the sequential searcher,
+// the master, or collaborative searcher 0) once per completed checkpoint
+// barrier, in barrier order — sources use those polls as the high-water
+// mark below which no new live mutation may be pinned. Apply runs between
+// segments on the process driving RunContext.
+type MutationSource interface {
+	// HaltAt reports whether the run must pause at checkpoint barrier b to
+	// apply pending mutations. It must answer deterministically for a
+	// given (mutation log, b): once it has returned true for b it keeps
+	// returning true until Apply consumes the pending mutations.
+	HaltAt(b int) bool
+	// Apply consumes the mutations pending at the halt barrier: it derives
+	// the mutated instance and a repaired checkpoint whose parts restore
+	// cleanly against it. The returned checkpoint's InstanceDigest must be
+	// InstanceDigest(newIn); RunContext verifies and refuses a mismatch.
+	// ctx carries the run's trace recorder for splice/repair spans.
+	Apply(ctx context.Context, in *vrptw.Instance, ck *Checkpoint) (*vrptw.Instance, *Checkpoint, error)
+}
+
+// InstanceDigest fingerprints the problem data exactly as the checkpoint
+// layer does; MutationSource implementations stamp it on the checkpoints
+// they repair.
+func InstanceDigest(in *vrptw.Instance) string { return instanceDigest(in) }
+
+// haltDue asks the mutation source (if any) whether barrier b is a
+// mutation epoch. Only the coordinating process calls it, once per
+// barrier attempt in barrier order — after the barrier completed for the
+// master–worker variants, just before opening it for the collaborative
+// coordinator (whose answer rides the release messages).
+func (c *Config) haltDue(b int) bool {
+	return c.Dynamic != nil && c.Dynamic.HaltAt(b)
+}
+
+// markHalt records that the run halted at barrier b; RunContext picks the
+// mark up after the segment's bodies return. Barrier numbers start at 1,
+// so 0 doubles as "no halt".
+func (c *Config) markHalt(b int) { c.haltB = b }

@@ -35,6 +35,16 @@ func sequentialBody(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, r
 			b := s.iter / cfg.CheckpointEvery
 			sp := s.tr.Start(s.phase, "ckpt_barrier").SetInt("barrier", int64(b))
 			cfg.coll.put(p.ID(), s.capture(p, b, false))
+			if cfg.haltDue(b) {
+				// Mutation epoch: the part just captured doubles as this
+				// segment's final state; RunContext assembles, applies the
+				// mutations and warm-restarts from the patched checkpoint.
+				// The sink emit is skipped — the halt barrier's checkpoint
+				// only ever persists in its patched form.
+				cfg.markHalt(b)
+				sp.End()
+				break
+			}
 			cfg.emitCheckpoint(b)
 			sp.End()
 		}

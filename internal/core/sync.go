@@ -190,6 +190,17 @@ func syncMaster(p deme.Proc, in *vrptw.Instance, cfg *Config, r *rng.Rand, rec *
 				SetInt("proc", int64(p.ID())).SetInt("barrier", int64(b))
 			if ckptWorkers(p, cfg, alive, b) {
 				cfg.coll.put(p.ID(), s.capture(p, b, false))
+				if cfg.haltDue(b) {
+					// Mutation epoch: exit the segment on the barrier's
+					// parts. Workers idle until the loop exit's stop
+					// message; a failed barrier retries the halt at the
+					// next one (haltDue keeps answering true). The sink
+					// emit is skipped — the halt barrier's checkpoint only
+					// ever persists in its patched form.
+					cfg.markHalt(b)
+					sp.End()
+					break
+				}
 				cfg.emitCheckpoint(b)
 			} else {
 				cfg.Telemetry.CheckpointGroup().Skip()

@@ -1,0 +1,155 @@
+// Package dynamic is the online (dynamic) VRPTW subsystem: an
+// event-sourced stream of instance mutations that turns a running job into
+// a re-optimization session. A Mutation is a versioned, validated change
+// to the live instance (a customer arriving or canceling, a time window
+// shifting, a demand update). Mutations are grouped into epochs pinned to
+// checkpoint barriers of the run; at an epoch the run halts on its
+// ordinary checkpoint barrier, Schedule.Apply splices the changes into a
+// derived instance (incremental neighbor-list repair, see vrptw's mutate
+// primitives), repairs every checkpoint part so its solutions stay
+// complete and capacity-sane (orphaned customers re-inserted greedily via
+// internal/construct, dominated archive members re-filtered via pareto),
+// and the run warm-restarts from the patched checkpoint.
+//
+// Everything is deterministic in (seed, mutation log): replaying the same
+// mutations at the same epochs reproduces the run bit-identically on the
+// simulator backend, and applying a mutation to a live run at epoch E is
+// the same as resuming the barrier-E checkpoint, applying it offline, and
+// running on.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/vrptw"
+)
+
+// Version is the mutation format version; Validate rejects others.
+const Version = 1
+
+// Op enumerates the mutation kinds.
+type Op string
+
+// The four mutation kinds.
+const (
+	AddCustomer    Op = "add_customer"
+	CancelCustomer Op = "cancel_customer"
+	ShiftWindow    Op = "shift_window"
+	UpdateDemand   Op = "update_demand"
+)
+
+// Mutation is one versioned change to a live instance. Customer indices
+// refer to the instance as projected through every earlier mutation of the
+// log (including earlier entries of the same batch).
+type Mutation struct {
+	Version int `json:"version"`
+	Op      Op  `json:"op"`
+	// Site is the AddCustomer payload. Its ID must be 0 (assigned on
+	// apply).
+	Site *vrptw.Site `json:"site,omitempty"`
+	// Customer targets CancelCustomer / ShiftWindow / UpdateDemand.
+	Customer int `json:"customer,omitempty"`
+	// Ready and Due are the ShiftWindow payload.
+	Ready float64 `json:"ready,omitempty"`
+	Due   float64 `json:"due,omitempty"`
+	// Demand is the UpdateDemand payload.
+	Demand float64 `json:"demand,omitempty"`
+}
+
+// Validate checks the mutation's shape and applicability against the
+// given (projected) instance without deriving anything. It returns the
+// error the apply would fail with, or nil.
+func (m *Mutation) Validate(in *vrptw.Instance) error {
+	_, _, _, _, err := m.apply(in)
+	return err
+}
+
+// apply derives the mutated instance. remap maps every site index of in to
+// its index in the derived instance, with a missing customer key marking
+// the removed one; a nil remap means identity. added is the
+// derived-instance index of a newly added customer, or -1. st reports the
+// neighbor-list repair effort.
+func (m *Mutation) apply(in *vrptw.Instance) (d *vrptw.Instance, remap map[int]int, added int, st vrptw.RepairStats, err error) {
+	if m.Version != Version {
+		return nil, nil, -1, st, fmt.Errorf("dynamic: unsupported mutation version %d (want %d)", m.Version, Version)
+	}
+	added = -1
+	switch m.Op {
+	case AddCustomer:
+		if m.Site == nil {
+			return nil, nil, -1, st, fmt.Errorf("dynamic: add_customer needs a site payload")
+		}
+		d, st, err = in.AddSite(*m.Site)
+		if err == nil {
+			added = d.N() // AddSite appends: the new customer is site N
+		}
+	case CancelCustomer:
+		d, remap, st, err = in.RemoveSite(m.Customer)
+	case ShiftWindow:
+		d, st, err = in.UpdateWindow(m.Customer, m.Ready, m.Due)
+	case UpdateDemand:
+		d, st, err = in.UpdateDemand(m.Customer, m.Demand)
+	default:
+		return nil, nil, -1, st, fmt.Errorf("dynamic: unknown mutation op %q", m.Op)
+	}
+	return d, remap, added, st, err
+}
+
+// String renders the mutation for logs and error messages.
+func (m *Mutation) String() string {
+	switch m.Op {
+	case AddCustomer:
+		if m.Site == nil {
+			return "add_customer(<nil>)"
+		}
+		return fmt.Sprintf("add_customer(x=%g y=%g demand=%g window=[%g,%g])",
+			m.Site.X, m.Site.Y, m.Site.Demand, m.Site.Ready, m.Site.Due)
+	case CancelCustomer:
+		return fmt.Sprintf("cancel_customer(%d)", m.Customer)
+	case ShiftWindow:
+		return fmt.Sprintf("shift_window(%d, [%g,%g])", m.Customer, m.Ready, m.Due)
+	case UpdateDemand:
+		return fmt.Sprintf("update_demand(%d, %g)", m.Customer, m.Demand)
+	}
+	return string(m.Op)
+}
+
+// Project applies every mutation in order to in, skipping invalid ones,
+// and returns the projected instance. The service validates incoming
+// mutations against the projection of everything already queued.
+func Project(in *vrptw.Instance, muts []Mutation) (*vrptw.Instance, error) {
+	cur := in
+	for i := range muts {
+		d, _, _, _, err := muts[i].apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: mutation %d (%s): %w", i, muts[i].String(), err)
+		}
+		cur = d
+	}
+	return cur, nil
+}
+
+// Report summarizes one applied epoch for telemetry, journals and the
+// job event stream.
+type Report struct {
+	// Epoch is the checkpoint barrier the mutations were applied at.
+	Epoch int `json:"epoch"`
+	// Applied and Rejected count the epoch's mutations.
+	Applied  int `json:"applied"`
+	Rejected int `json:"rejected"`
+	// Orphans counts customers greedily re-inserted into part solutions
+	// (new arrivals plus capacity ejections), summed over all parts.
+	Orphans int `json:"orphans"`
+	// Invalidated counts part solutions dropped (dominated after repair)
+	// or patched (routes changed), summed over all parts.
+	Invalidated int `json:"invalidated"`
+	// PendingDropped counts asynchronous pending candidates discarded at
+	// the mutation barrier — the iterations lost to the warm restart.
+	PendingDropped int `json:"pending_dropped"`
+	// Neighbor-list repair effort (summed over mutations and cached ks).
+	ListsReused  int `json:"lists_reused"`
+	ListsPatched int `json:"lists_patched"`
+	ListsRebuilt int `json:"lists_rebuilt"`
+	// Seconds is the wall time of the splice+repair pass.
+	Seconds float64 `json:"seconds"`
+}

@@ -30,6 +30,11 @@ type Sample struct {
 	EvalsPerSec float64 `json:"evals_per_sec"`
 	// AcceptRates maps operator name to accepted/proposed at sample time.
 	AcceptRates map[string]float64 `json:"accept_rates,omitempty"`
+	// Marker tags the first sample after a discrete run event — a dynamic
+	// mutation epoch, say ("mutation@12"). Markers are derived from the
+	// run-deterministic mutation log, so identical replays carry identical
+	// markers and tsmo-compare can align recordings across a mutation.
+	Marker string `json:"marker,omitempty"`
 }
 
 // Recording is a complete flight recording: the job's identity plus every

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/vrptw"
+)
+
+// Mutation failure modes, mapped to HTTP statuses by the handler.
+var (
+	// ErrTerminal: the job already finished; its instance is frozen
+	// (HTTP 409).
+	ErrTerminal = errors.New("service: job is terminal, its instance can no longer be mutated")
+	// ErrNotDynamic: the job runs without checkpoint barriers — the
+	// combined variant, an in-run MaxSeconds budget, a cluster-share
+	// shard, or a service with checkpointing disabled — so there is no
+	// deterministic epoch to splice a mutation at (HTTP 409).
+	ErrNotDynamic = errors.New("service: job is not mutable (it runs without checkpoint barriers)")
+)
+
+// jobMutations adapts a job's mutation schedule into the run's
+// core.MutationSource and owns the durability of mutation epochs: the
+// core skips the checkpoint sink at halt barriers, so the patched
+// checkpoint Apply produces here is the barrier's only persisted form.
+// That makes recovery's fold rule exact — a journaled mutation with
+// epoch at or below the recovered checkpoint's barrier is always already
+// spliced into it, and one above it never is.
+type jobMutations struct {
+	j  *Job
+	sc *dynamic.Schedule
+}
+
+func (m *jobMutations) HaltAt(b int) bool { return m.sc.HaltAt(b) }
+
+func (m *jobMutations) Apply(ctx context.Context, in *vrptw.Instance, ck *core.Checkpoint) (*vrptw.Instance, *core.Checkpoint, error) {
+	nin, nck, err := m.sc.Apply(ctx, in, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, s := m.j, m.j.svc
+	data, err := core.EncodeCheckpoint(nck)
+	if err != nil {
+		return nil, nil, fmt.Errorf("encoding patched checkpoint: %w", err)
+	}
+	j.setCheckpoint(nck.Barrier, data)
+	if s != nil && s.jl != nil {
+		// A persistence failure is logged, not fatal: the disk keeps an
+		// older checkpoint whose barrier precedes this epoch, so recovery
+		// re-primes the mutation instead of folding it — still exactly
+		// once, just with more recomputation.
+		path := filepath.Join(s.jobDir(j.ID), "ckpt.json")
+		if werr := writeFileSync(path, data); werr != nil {
+			s.logWarn("persisting patched checkpoint", "job", j.ID, "barrier", nck.Barrier, "error", werr)
+		} else if jerr := s.jl.append(journalRecord{Type: "ckpt", Job: j.ID, Barrier: nck.Barrier,
+			Note: fingerprintNote(nck.GranularK, nck.EvalWorkers)}); jerr != nil {
+			s.logWarn("journal: patched ckpt record", "job", j.ID, "barrier", nck.Barrier, "error", jerr)
+		}
+	}
+	return nin, nck, nil
+}
+
+// fingerprintNote renders the human-readable half of a checkpoint's
+// config fingerprint for journal ckpt records.
+func fingerprintNote(granularK, evalWorkers int) string {
+	return fmt.Sprintf("granular_k=%d eval_workers=%d", granularK, evalWorkers)
+}
+
+// Mutate schedules a batch of instance mutations on a live job. epoch
+// pins the batch to an explicit checkpoint barrier (a timed replay
+// script, or recovery re-priming); 0 lets the schedule pick the next
+// barrier the run has not reached. The batch is validated against the
+// projection of the job's base instance through the full mutation log
+// and journaled before it becomes visible to the run — atomically with
+// the pinning, so a batch the run can observe is always both valid and
+// durable. It returns the epoch the batch landed on.
+func (s *Service) Mutate(id string, epoch int, muts []dynamic.Mutation) (int, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if j.dyn == nil {
+		return 0, ErrNotDynamic
+	}
+	if j.State().Terminal() {
+		return 0, ErrTerminal
+	}
+	committed, err := j.dyn.AddFunc(epoch, muts, func(e int, log []dynamic.Mutation) error {
+		if _, err := dynamic.Project(j.in, log); err != nil {
+			return fmt.Errorf("mutation batch does not apply: %w", err)
+		}
+		if s.jl != nil {
+			if err := s.jl.append(journalRecord{Type: "mutate", Job: j.ID, Barrier: e, Muts: muts}); err != nil {
+				return fmt.Errorf("%w: %v", ErrStorage, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// A batch accepted after the run turned terminal (the terminal
+	// transition raced the gate above) will never be applied; that is
+	// harmless — it was journaled, but recovery drops mutate records for
+	// terminal jobs during compaction.
+	j.mu.Lock()
+	j.appendEventLocked("mutation_scheduled", map[string]any{
+		"job": j.ID, "epoch": committed, "mutations": len(muts),
+	})
+	j.mu.Unlock()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("mutations scheduled", "job", j.ID, "epoch", committed, "mutations", len(muts))
+	}
+	return committed, nil
+}

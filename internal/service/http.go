@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/flight"
 	"repro/internal/resultio"
 	"repro/internal/telemetry"
@@ -25,6 +26,7 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/jobs/{id}        status + live front + quality metrics
 //	GET    /v1/jobs/{id}/events SSE stream of job events (Last-Event-ID resume)
 //	GET    /v1/jobs/{id}/result final front as a resultio.FrontFile (409 early)
+//	PATCH  /v1/jobs/{id}/instance mutate the live instance (409 terminal/static)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/flight flight recording (periodic convergence samples)
 //	GET    /v1/jobs/{id}/trace  recorded spans as OTLP/JSON
@@ -40,6 +42,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("PATCH /v1/jobs/{id}/instance", s.handleMutate)
 	mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
@@ -164,6 +167,9 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !j.State().Terminal() {
+		// The job will finish; Retry-After tells polling clients (tsmoctl
+		// submit -wait, the cluster coordinator) when to ask again.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; the result is available once it is terminal", j.ID, j.State()))
 		return
 	}
@@ -180,6 +186,75 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resultio.FromResult(j.InstanceName(), res, true))
+}
+
+// MutateRequest is the body of PATCH /v1/jobs/{id}/instance: either one
+// mutation inline (the dynamic.Mutation fields at the top level) or a
+// batch in Mutations. Epoch pins the batch to an explicit checkpoint
+// barrier — timed replay scripts use it to make a scenario
+// reproducible; 0 lets the service pick the next barrier the run has
+// not yet reached. A missing version defaults to the current one.
+type MutateRequest struct {
+	dynamic.Mutation
+	Epoch     int                `json:"epoch,omitempty"`
+	Mutations []dynamic.Mutation `json:"mutations,omitempty"`
+}
+
+// MutateResponse is the 200 body of PATCH /v1/jobs/{id}/instance.
+type MutateResponse struct {
+	ID string `json:"id"`
+	// Epoch is the checkpoint barrier the batch was pinned to; the run
+	// halts there, splices, and warm-restarts.
+	Epoch     int `json:"epoch"`
+	Mutations int `json:"mutations"`
+}
+
+func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req MutateRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding mutation request: %w", err))
+		return
+	}
+	muts := req.Mutations
+	if req.Mutation.Op != "" {
+		if len(muts) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New("provide either one inline mutation or a mutations batch, not both"))
+			return
+		}
+		muts = []dynamic.Mutation{req.Mutation}
+	}
+	if len(muts) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty mutation batch"))
+		return
+	}
+	for i := range muts {
+		if muts[i].Version == 0 {
+			muts[i].Version = dynamic.Version
+		}
+	}
+	epoch, err := s.Mutate(j.ID, req.Epoch, muts)
+	switch {
+	case errors.Is(err, ErrTerminal), errors.Is(err, ErrNotDynamic):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, dynamic.ErrEpochPassed):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrStorage):
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{ID: j.ID, Epoch: epoch, Mutations: len(muts)})
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/resultio"
@@ -198,6 +199,16 @@ type Job struct {
 	resume   *core.Checkpoint
 	restored *resultio.FrontFile
 
+	// dyn is the job's live-mutation schedule, nil when the job cannot
+	// accept instance mutations (no checkpoint barriers, or a
+	// cluster-share shard). Created in newJob so PATCHes land while the
+	// job is still queued; armCheckpoints wires it into the run.
+	// recoveredMuts are the journaled mutate records recovery replayed —
+	// retained so journal compaction keeps them (set before the job is
+	// reachable, read before the workers start).
+	dyn           *dynamic.Schedule
+	recoveredMuts []journalRecord
+
 	// Latest checkpoint envelope, kept in memory for every checkpointed
 	// job (durable or not) so GET /v1/jobs/{id}/checkpoint can hand the
 	// cluster coordinator a migration artifact. Guarded by ckptMu, not
@@ -223,6 +234,10 @@ type Job struct {
 	haveRef    bool
 	result     *core.Result
 	firstPoint time.Time // when the first front point arrived (SLO histogram)
+	// pendingMarker tags the next flight-recorder sample with the most
+	// recent mutation epoch ("mutation@12"), so tsmo-compare can align
+	// recordings across a mutation.
+	pendingMarker string
 }
 
 // newJob validates a spec against the service limits and materializes the
@@ -365,6 +380,20 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 	cfg.Telemetry = j.tel
 	j.cfg = cfg
 
+	// Jobs with deterministic checkpoint barriers accept live instance
+	// mutations; the schedule exists from submission so a PATCH can land
+	// while the job is still queued. Cluster-share shards are excluded:
+	// shared solutions would reference diverging instances.
+	every := limits.CheckpointEvery
+	if j.resume != nil {
+		every = j.resume.Every
+	}
+	if every > 0 && alg != core.Combined && cfg.MaxSeconds <= 0 && spec.ShareGroup == "" {
+		j.dyn = dynamic.NewSchedule()
+		j.dyn.Telemetry = j.tel
+		j.dyn.OnApplied = j.mutationApplied
+	}
+
 	// Every job is traced: the recorder costs nothing until spans are
 	// recorded, and the ring grows lazily. A submitted traceparent makes
 	// the job's "job" span a child of the caller's span; otherwise the
@@ -446,9 +475,35 @@ func (j *Job) observe(name string, fields map[string]any) {
 				}
 			}
 		}
+		// The first sample after a mutation epoch carries its marker.
+		// Derived from the run-deterministic mutation log, so identical
+		// (seed, mutation log) replays carry identical markers.
+		sm.Marker = j.pendingMarker
+		j.pendingMarker = ""
 		j.fr.Observe(sm)
 	}
 	j.appendEventLocked(name, fields)
+}
+
+// mutationApplied observes one applied mutation epoch (the schedule's
+// OnApplied hook, called from the run's process after the splice and
+// before the warm restart): it emits a "mutations" event for the SSE
+// stream and arms the flight-recorder marker consumed by the next
+// snapshot sample.
+func (j *Job) mutationApplied(rep dynamic.Report) {
+	j.mu.Lock()
+	j.pendingMarker = fmt.Sprintf("mutation@%d", rep.Epoch)
+	j.appendEventLocked("mutations", map[string]any{
+		"job":             j.ID,
+		"epoch":           rep.Epoch,
+		"applied":         rep.Applied,
+		"rejected":        rep.Rejected,
+		"orphans":         rep.Orphans,
+		"invalidated":     rep.Invalidated,
+		"pending_dropped": rep.PendingDropped,
+		"splice_seconds":  rep.Seconds,
+	})
+	j.mu.Unlock()
 }
 
 // insertPointLocked merges one accepted point into the live front mirror,
@@ -521,6 +576,22 @@ type Status struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	Error       string     `json:"error,omitempty"`
 
+	// GranularK and EvalWorkers echo the spec-level search knobs that
+	// form the human-readable half of the checkpoint fingerprint:
+	// GranularK shapes the trajectory and must match on resume,
+	// EvalWorkers only shards delta evaluation and may change.
+	GranularK   int `json:"granular_k,omitempty"`
+	EvalWorkers int `json:"eval_workers,omitempty"`
+
+	// The dynamic-mutation counters: epochs applied so far, mutations
+	// applied and rejected across them, mutations still queued, and the
+	// last applied epoch. All zero for non-dynamic jobs.
+	MutationEpochs    int `json:"mutation_epochs,omitempty"`
+	MutationsApplied  int `json:"mutations_applied,omitempty"`
+	MutationsRejected int `json:"mutations_rejected,omitempty"`
+	MutationsPending  int `json:"mutations_pending,omitempty"`
+	LastMutationEpoch int `json:"last_mutation_epoch,omitempty"`
+
 	// Evaluations and Iterations are live telemetry counters while the
 	// job runs and final totals afterwards.
 	Evaluations int64 `json:"evaluations"`
@@ -554,6 +625,8 @@ func (j *Job) Status() Status {
 		Processors:   j.cfg.Processors,
 		Backend:      j.backend,
 		Seed:         j.cfg.Seed,
+		GranularK:    j.cfg.GranularK,
+		EvalWorkers:  j.cfg.EvalWorkers,
 		SubmittedAt:  j.submitted,
 		Error:        j.errText,
 		LastEventSeq: j.lastSeq,
@@ -579,6 +652,16 @@ func (j *Job) Status() Status {
 	haveRef, ref := j.haveRef, j.hvRef
 	haveResult := j.result != nil || j.restored != nil
 	j.mu.Unlock()
+
+	if j.dyn != nil {
+		for _, rep := range j.dyn.Reports() {
+			st.MutationEpochs++
+			st.MutationsApplied += rep.Applied
+			st.MutationsRejected += rep.Rejected
+			st.LastMutationEpoch = rep.Epoch
+		}
+		st.MutationsPending = j.dyn.Pending()
+	}
 
 	if !haveResult {
 		// Live counters are atomics on the immutable per-job telemetry

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/dynamic"
 )
 
 // The write-ahead job journal. Every job-state transition the service must
@@ -24,6 +26,9 @@ import (
 //	submit    job accepted; carries the full JobSpec (and idempotency key)
 //	start     a worker began running the job
 //	ckpt      a search checkpoint reached disk (jobs/<id>/ckpt.json)
+//	mutate    an instance-mutation batch was accepted; Barrier is its
+//	          epoch and Muts the batch — journaled before the batch is
+//	          visible to the run, so recovery replays it exactly once
 //	done      the job finished; jobs/<id>/result.json holds the front
 //	failed    the job failed; Error carries the message
 //	canceled  the job was canceled (its partial result, if any, persisted)
@@ -37,7 +42,13 @@ type journalRecord struct {
 	Job     string    `json:"job,omitempty"`
 	Spec    *JobSpec  `json:"spec,omitempty"`
 	Barrier int       `json:"barrier,omitempty"`
-	Error   string    `json:"error,omitempty"`
+	// Muts is a mutate record's mutation batch, replayed by recovery.
+	Muts []dynamic.Mutation `json:"muts,omitempty"`
+	// Note carries the human-readable half of a ckpt record's config
+	// fingerprint (granular_k, eval_workers) for operators reading the
+	// journal; recovery ignores it.
+	Note  string `json:"note,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // journal is the fsync-on-append JSONL WAL. Appends come from submission

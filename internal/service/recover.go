@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/resultio"
 )
 
@@ -69,6 +71,10 @@ type replayJob struct {
 	errText string
 	barrier int
 	evicted bool
+	// muts retains the job's mutate records in journal (commit) order;
+	// replayMutations folds or re-primes them against the recovered
+	// checkpoint.
+	muts []journalRecord
 }
 
 // replay folds the journal into the job table. Terminal jobs come back
@@ -101,6 +107,8 @@ func (s *Service) replay(recs []journalRecord) []*Job {
 			rj.state = StateRunning
 		case "ckpt":
 			rj.barrier = rec.Barrier
+		case "mutate":
+			rj.muts = append(rj.muts, rec)
 		case string(StateDone), string(StateFailed), string(StateCanceled):
 			rj.state = State(rec.Type)
 			rj.errText = rec.Error
@@ -157,6 +165,12 @@ func (s *Service) replay(recs []journalRecord) []*Job {
 					j.setCheckpoint(ck.Barrier, raw)
 				}
 			}
+			if len(rj.muts) > 0 && j.dyn == nil {
+				s.logWarn("recovery: dropping mutations for a job that is no longer mutable", "job", id, "batches", len(rj.muts))
+			}
+			if j.dyn != nil && (len(rj.muts) > 0 || j.resume != nil) {
+				s.replayMutations(j, rj.muts)
+			}
 			fields := map[string]any{"job": id}
 			if j.resume != nil {
 				fields["barrier"] = j.resume.Barrier
@@ -173,8 +187,76 @@ func (s *Service) replay(recs []journalRecord) []*Job {
 	return requeue
 }
 
+// replayMutations re-establishes a recovered job's mutation state from
+// its journaled mutate records. A mutation epoch's checkpoint only ever
+// persists in its patched form (the core skips the sink at halt
+// barriers; jobMutations.Apply writes the spliced one), so the fold
+// rule is exact: a record with epoch at or below the recovered
+// checkpoint's barrier is already spliced into that checkpoint and is
+// folded into the job's base instance; a record above it never was and
+// is re-primed at its original epoch — applied exactly once when the
+// resumed run reaches it. A checkpoint whose digest does not match the
+// fold (damaged journal, or a patched write that never landed) is
+// discarded: the job restarts from scratch with every batch re-primed,
+// which costs recomputation but keeps the (seed, mutation log) replay
+// exact.
+func (s *Service) replayMutations(j *Job, muts []journalRecord) {
+	recs := append([]journalRecord(nil), muts...)
+	// Epoch order is application order; records pinned out of order by
+	// explicit-epoch PATCHes journal out of order. The stable sort keeps
+	// same-epoch batches in commit order, matching the validated log.
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Barrier < recs[b].Barrier })
+	barrier := 0
+	if j.resume != nil {
+		barrier = j.resume.Barrier
+	}
+	folded := j.in
+	var later []journalRecord
+	for _, rec := range recs {
+		if rec.Barrier > barrier {
+			later = append(later, rec)
+			continue
+		}
+		for i := range rec.Muts {
+			// Per-mutation projection mirrors Apply's skip-invalid
+			// semantics: an invalid mutation was rejected at apply time,
+			// so skipping it here reproduces the spliced instance.
+			d, err := dynamic.Project(folded, rec.Muts[i:i+1])
+			if err != nil {
+				s.logWarn("recovery: skipping mutation the run rejected", "job", j.ID, "epoch", rec.Barrier, "error", err)
+				continue
+			}
+			folded = d
+		}
+	}
+	if j.resume != nil && core.InstanceDigest(folded) != j.resume.InstanceDigest {
+		s.logWarn("recovery: checkpoint does not match the folded mutation log; restarting job from scratch",
+			"job", j.ID, "barrier", barrier, "batches", len(recs))
+		j.resume = nil
+		j.setCheckpoint(0, nil)
+		later = recs
+	} else {
+		j.in = folded
+	}
+	if j.resume != nil {
+		// Folded epochs stay behind the schedule's high-water mark;
+		// re-primed ones stay ahead of it.
+		j.dyn.Advance(j.resume.Barrier)
+	}
+	for _, rec := range later {
+		if err := j.dyn.AddAt(rec.Barrier, rec.Muts); err != nil {
+			s.logWarn("recovery: re-priming mutation batch", "job", j.ID, "epoch", rec.Barrier, "error", err)
+		}
+	}
+	// Compaction must keep every record: the folded ones rebuild j.in on
+	// the next recovery, the later ones replay into the run.
+	j.recoveredMuts = recs
+}
+
 // compactRecords renders the post-replay job table as a minimal journal:
-// one submit record per retained job plus its latest relevant transition.
+// one submit record per retained job plus its latest relevant transition
+// (and, for incomplete dynamic jobs, their mutate records — the fold
+// needs all of them to reconstruct the mutated instance).
 func (s *Service) compactRecords() []journalRecord {
 	var recs []journalRecord
 	for _, id := range s.order {
@@ -186,6 +268,9 @@ func (s *Service) compactRecords() []journalRecord {
 			recs = append(recs, journalRecord{Type: string(j.state), Job: id, Error: j.errText})
 		case j.resume != nil:
 			recs = append(recs, journalRecord{Type: "ckpt", Job: id, Barrier: j.resume.Barrier})
+		}
+		if !j.state.Terminal() {
+			recs = append(recs, j.recoveredMuts...)
 		}
 	}
 	return recs

@@ -443,6 +443,14 @@ func (s *Service) armCheckpoints(j *Job) {
 		return
 	}
 	j.cfg.CheckpointEvery = every
+	if j.dyn != nil {
+		// Live instance mutations ride the same barriers: the schedule
+		// halts the run at a mutation epoch, splices, and persists the
+		// patched checkpoint itself (jobMutations.Apply) — the core skips
+		// the sink at halt barriers, so a mutation epoch's checkpoint only
+		// ever reaches disk in its patched form.
+		j.cfg.Dynamic = &jobMutations{j: j, sc: j.dyn}
+	}
 	path := filepath.Join(s.jobDir(j.ID), "ckpt.json")
 	j.cfg.CheckpointSink = func(ck *core.Checkpoint) error {
 		data, err := core.EncodeCheckpoint(ck)
@@ -456,7 +464,8 @@ func (s *Service) armCheckpoints(j *Job) {
 		if err := writeFileSync(path, data); err != nil {
 			return err
 		}
-		return s.jl.append(journalRecord{Type: "ckpt", Job: j.ID, Barrier: ck.Barrier})
+		return s.jl.append(journalRecord{Type: "ckpt", Job: j.ID, Barrier: ck.Barrier,
+			Note: fingerprintNote(ck.GranularK, ck.EvalWorkers)})
 	}
 }
 

@@ -123,6 +123,14 @@ func (t *Telemetry) Samples() []Sample {
 	addc("tsmo_checkpoint_resumes_total", &t.Ckpt.Resumes)
 	add("tsmo_checkpoint_barrier_seconds_total", "", "", t.Ckpt.BarrierSecs.Load())
 
+	add("tsmo_dynamic_mutations_total", "outcome", "applied", float64(t.Dynamic.Applied.Load()))
+	add("tsmo_dynamic_mutations_total", "outcome", "rejected", float64(t.Dynamic.Rejected.Load()))
+	addc("tsmo_dynamic_orphans_total", &t.Dynamic.Orphans)
+	addc("tsmo_dynamic_invalidated_total", &t.Dynamic.Invalidated)
+	addc("tsmo_dynamic_pending_dropped_total", &t.Dynamic.PendingDropped)
+	addc("tsmo_dynamic_warm_restarts_total", &t.Dynamic.WarmRestarts)
+	add("tsmo_dynamic_splice_seconds_total", "", "", t.Dynamic.SpliceSeconds.Load())
+
 	type opRow struct {
 		name  string
 		stats *OpStats

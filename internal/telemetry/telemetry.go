@@ -650,6 +650,78 @@ func (c *CheckpointStats) Barrier(seconds float64) {
 	c.BarrierSecs.Add(seconds)
 }
 
+// DynamicStats instruments the dynamic (online) subsystem: live instance
+// mutations, the incremental splice/repair they trigger, and the warm
+// restarts that resume the interrupted search segments. All methods are
+// nil-safe, so a disabled layer costs one branch per site.
+type DynamicStats struct {
+	Applied        Counter      // mutations validated and spliced into a run
+	Rejected       Counter      // mutations refused by validation
+	Orphans        Counter      // customers greedily re-inserted during repair
+	Invalidated    Counter      // archived solutions dropped or patched by repair
+	PendingDropped Counter      // async pending candidates discarded at a mutation barrier
+	WarmRestarts   Counter      // search segments resumed after a mutation
+	SpliceSeconds  FloatCounter // wall seconds spent in splice+repair
+	SpliceNanos    Histogram    // per-mutation splice+repair latency (ns)
+}
+
+// Apply counts n mutations spliced into a run.
+func (d *DynamicStats) Apply(n int) {
+	if d == nil {
+		return
+	}
+	d.Applied.Add(int64(n))
+}
+
+// Reject counts one mutation refused by validation.
+func (d *DynamicStats) Reject() {
+	if d == nil {
+		return
+	}
+	d.Rejected.Inc()
+}
+
+// Orphan counts n customers re-inserted by the repair pass.
+func (d *DynamicStats) Orphan(n int) {
+	if d == nil {
+		return
+	}
+	d.Orphans.Add(int64(n))
+}
+
+// Invalidate counts n archived solutions dropped or patched by repair.
+func (d *DynamicStats) Invalidate(n int) {
+	if d == nil {
+		return
+	}
+	d.Invalidated.Add(int64(n))
+}
+
+// DropPending counts n async candidates discarded at a mutation barrier.
+func (d *DynamicStats) DropPending(n int) {
+	if d == nil {
+		return
+	}
+	d.PendingDropped.Add(int64(n))
+}
+
+// WarmRestart counts one search segment resumed after a mutation.
+func (d *DynamicStats) WarmRestart() {
+	if d == nil {
+		return
+	}
+	d.WarmRestarts.Inc()
+}
+
+// Splice accounts one splice+repair pass's wall time.
+func (d *DynamicStats) Splice(seconds float64) {
+	if d == nil {
+		return
+	}
+	d.SpliceSeconds.Add(seconds)
+	d.SpliceNanos.Observe(int64(seconds * 1e9))
+}
+
 // OpStats tracks one neighborhood operator's funnel: proposals drawn,
 // selections as the next current solution, and acceptances into the
 // archive, plus two generation-side failure counters: Propose calls that
@@ -761,6 +833,7 @@ type Telemetry struct {
 	Splice  SpliceStats
 	Fault   FaultStats
 	Ckpt    CheckpointStats
+	Dynamic DynamicStats
 	Ops     OpTable
 	// Peers breaks the cross-node share ingress down by sibling shard.
 	Peers PeerShareTable
@@ -905,6 +978,15 @@ func (t *Telemetry) CheckpointGroup() *CheckpointStats {
 	return &t.Ckpt
 }
 
+// DynamicGroup returns the dynamic-subsystem instruments (nil when
+// disabled).
+func (t *Telemetry) DynamicGroup() *DynamicStats {
+	if t == nil {
+		return nil
+	}
+	return &t.Dynamic
+}
+
 // Operators returns the per-operator funnel table (nil when disabled).
 func (t *Telemetry) Operators() *OpTable {
 	if t == nil {
@@ -994,6 +1076,16 @@ func (t *Telemetry) Snapshot() map[string]any {
 			"skipped":         t.Ckpt.Skipped.Load(),
 			"resumes":         t.Ckpt.Resumes.Load(),
 			"barrier_seconds": t.Ckpt.BarrierSecs.Load(),
+		},
+		"dynamic": map[string]any{
+			"applied":         t.Dynamic.Applied.Load(),
+			"rejected":        t.Dynamic.Rejected.Load(),
+			"orphans":         t.Dynamic.Orphans.Load(),
+			"invalidated":     t.Dynamic.Invalidated.Load(),
+			"pending_dropped": t.Dynamic.PendingDropped.Load(),
+			"warm_restarts":   t.Dynamic.WarmRestarts.Load(),
+			"splice_seconds":  t.Dynamic.SpliceSeconds.Load(),
+			"splice_ns":       t.Dynamic.SpliceNanos.Snapshot(),
 		},
 		"operators": t.Ops.Snapshot(),
 	}

@@ -46,43 +46,62 @@ func (in *Instance) NeighborLists(k int) *NeighborLists {
 func (in *Instance) buildNeighborLists(k int) *NeighborLists {
 	n := len(in.Sites)
 	nl := &NeighborLists{K: k, lists: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		nl.lists[i] = in.buildNeighborRow(i, k)
+	}
+	return nl
+}
+
+// arcScore returns the granular ranking score of arc i -> j (travel
+// distance plus unavoidable waiting at j) and whether the arc is admissible
+// at all — departing i as early as possible still reaches j by its due
+// date. This is the single definition both the full build and the
+// incremental repairs (mutate.go) rank by.
+func (in *Instance) arcScore(i, j int) (float64, bool) {
+	arrive := in.DepartReady(i) + in.Dist(i, j)
+	if arrive > in.Sites[j].Due {
+		return 0, false
+	}
+	wait := in.Sites[j].Ready - arrive
+	if wait < 0 {
+		wait = 0
+	}
+	return in.Dist(i, j) + wait, true
+}
+
+// buildNeighborRow derives site i's up-to-k best-first successor list from
+// scratch.
+func (in *Instance) buildNeighborRow(i, k int) []int32 {
+	n := len(in.Sites)
 	type scored struct {
 		j     int32
 		score float64
 	}
 	cand := make([]scored, 0, n)
-	for i := 0; i < n; i++ {
-		cand = cand[:0]
-		for j := 1; j < n; j++ {
-			if j == i {
-				continue
-			}
-			arrive := in.DepartReady(i) + in.Dist(i, j)
-			if arrive > in.Sites[j].Due {
-				continue // the arc can never be served on time
-			}
-			wait := in.Sites[j].Ready - arrive
-			if wait < 0 {
-				wait = 0
-			}
-			cand = append(cand, scored{j: int32(j), score: in.Dist(i, j) + wait})
+	for j := 1; j < n; j++ {
+		if j == i {
+			continue
 		}
-		// Deterministic order: score, then index on ties.
-		sort.Slice(cand, func(a, b int) bool {
-			if cand[a].score != cand[b].score {
-				return cand[a].score < cand[b].score
-			}
-			return cand[a].j < cand[b].j
-		})
-		m := k
-		if m > len(cand) {
-			m = len(cand)
+		score, ok := in.arcScore(i, j)
+		if !ok {
+			continue // the arc can never be served on time
 		}
-		list := make([]int32, m)
-		for x := 0; x < m; x++ {
-			list[x] = cand[x].j
-		}
-		nl.lists[i] = list
+		cand = append(cand, scored{j: int32(j), score: score})
 	}
-	return nl
+	// Deterministic order: score, then index on ties.
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].score != cand[b].score {
+			return cand[a].score < cand[b].score
+		}
+		return cand[a].j < cand[b].j
+	})
+	m := k
+	if m > len(cand) {
+		m = len(cand)
+	}
+	list := make([]int32, m)
+	for x := 0; x < m; x++ {
+		list[x] = cand[x].j
+	}
+	return list
 }

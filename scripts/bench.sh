@@ -19,6 +19,12 @@
 #                          the parallel-eval variant, and the raw candidate
 #                          sweeps; the tracked target is <=150µs and <=10
 #                          allocs per granular iteration
+#   BENCH_dynamic.json   — mutation-replay benchmarks: splice+repair
+#                          latency (p50/p99; tracked target p99 < 10ms for
+#                          a single mutation on a 400-customer instance),
+#                          neighbor lists rebuilt vs patched, and the
+#                          iterations a warm restart loses (0 by the
+#                          halt-barrier protocol)
 #   BENCH_history.jsonl  — timestamped archive of every prior BENCH_*.json,
 #                          appended before each file is overwritten
 # After writing, scripts/benchgate diffs BENCH_delta.json and
@@ -196,6 +202,43 @@ awk '
     printf "}\n"
   }' "$TMP" > BENCH_granular.json
 echo "wrote BENCH_granular.json"
+
+# The dynamic subsystem report: splice+repair of one cancel_customer and
+# of the four-op batch against a warmed 400-customer checkpoint, plus a
+# complete live mutated run (halt, splice, warm restart). The tracked
+# target is a single-mutation p99 under 10ms; lost_iterations measures the
+# search work a warm restart discards, which the halt-barrier protocol
+# pins to 0.
+TMPDYN=$(mktemp)
+trap 'rm -f "$TMP" "$TMPTRACE" "$TMPDYN"' EXIT
+go test -run '^$' -bench 'BenchmarkSpliceRepair|BenchmarkMutationReplay' \
+  -benchtime "${BENCHTIME:-1s}" ./internal/dynamic/ | tee "$TMPDYN"
+archive BENCH_dynamic.json
+awk '
+  function grab(   i) {
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "p50-ns") p50 = $(i-1)
+      if ($i == "p99-ns") p99 = $(i-1)
+      if ($i == "lists-rebuilt") reb = $(i-1)
+      if ($i == "lost-iters") lost = $(i-1)
+    }
+  }
+  /^BenchmarkSpliceRepairCancel400/ { grab(); cns = ns; c50 = p50; c99 = p99; creb = reb }
+  /^BenchmarkSpliceRepairBatch400/  { grab(); bns = ns; b50 = p50; b99 = p99; breb = reb }
+  /^BenchmarkMutationReplay400/     { grab(); rns = ns; rlost = lost }
+  END {
+    if (cns == "" || rns == "") { print "missing dynamic benchmarks" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"splice+repair on a warmed checkpoint (R1, N=400, k=20)\",\n"
+    printf "  \"cancel_single\": {\"ns_per_op\": %s, \"p50_ns\": %s, \"p99_ns\": %s, \"lists_rebuilt\": %s},\n", cns, c50, c99, creb
+    printf "  \"batch4\": {\"ns_per_op\": %s, \"p50_ns\": %s, \"p99_ns\": %s, \"lists_rebuilt\": %s},\n", bns, b50, b99, breb
+    printf "  \"live_replay\": {\"ns_per_op\": %s, \"lost_iterations\": %s},\n", rns, rlost
+    printf "  \"target\": {\"max_single_p99_ns\": 10000000, \"max_lost_iterations\": 0},\n"
+    printf "  \"within_target\": %s\n", (c99 + 0 < 10000000 && rlost + 0 == 0) ? "true" : "false"
+    printf "}\n"
+  }' "$TMPDYN" > BENCH_dynamic.json
+echo "wrote BENCH_dynamic.json"
 
 # The service load report: an in-process daemon on a 2-worker pool, driven
 # by more submitters than workers+queue so the queue saturates and 429
