@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e dynamic-e2e chaos cluster-e2e flaky-guard fuzz-smoke bench profile verify
+.PHONY: fmt build vet test race allocs bench-smoke metrics-lint service-e2e recover-e2e dynamic-e2e tenant-e2e chaos cluster-e2e flaky-guard fuzz-smoke bench profile verify
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -84,6 +84,21 @@ dynamic-e2e:
 	$(GO) test -race -count 1 -run 'TestE2EDynamic|TestE2EMutate|TestE2EResumeGranularKMismatch' ./internal/service/
 	$(GO) test -race -count 1 -run 'TestMutateCommand' ./cmd/tsmoctl/
 	$(GO) test -race -count 1 -v -run 'TestKill9MutationReplay' ./cmd/tsmod/
+
+# tenant-e2e runs the multi-tenant admission battery under the race
+# detector: the tenant registry and keyfile unit tests, the deficit
+# round-robin scheduler contract, the 50:1 fair-share starvation
+# scenario, virtual-clock rate-limit determinism, the credential
+# rejection table, the mutation-storm chaos test, quota/readyz/deadline
+# shedding, the torn mutate-then-ckpt WAL recovery case, the
+# coordinator's verbatim Retry-After relay, and the tenant-aware CLI.
+tenant-e2e:
+	$(GO) test -race -count 1 ./internal/tenant/
+	$(GO) test -race -count 1 \
+	  -run 'TestScheduler|TestE2EFairShare|TestE2ESubmitRateLimit|TestE2EAuthRejection|TestE2EMutationStorm|TestE2EReadyzAndShed|TestE2EDeadlineShed|TestE2ETenant|TestTornMutateBeforeCkpt' \
+	  ./internal/service/
+	$(GO) test -race -count 1 -run 'TestSubmitProxyRetryAfterVerbatim' ./internal/cluster/
+	$(GO) test -race -count 1 -run 'TestTenantCommands' ./cmd/tsmoctl/
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector: every scenario must complete, stay bit-identical across

@@ -11,6 +11,14 @@
 //	tsmoctl cancel j000001
 //	tsmoctl list
 //
+// Against a multi-tenant daemon, -token authenticates every request and
+// tenants shows the per-tenant lanes, quotas and counters (it works
+// against a coordinator too, which sums its live members):
+//
+//	tsmoctl -token k-acme-1 submit -class R1 -n 100 -priority 5 -deadline 30
+//	tsmoctl -token k-acme-1 tenants
+//	tsmoctl health                  # liveness and readiness, side by side
+//
 // Pointed at a coordinator (tsmod -cluster-listen), submit fans a job out
 // across the cluster and cluster inspects membership:
 //
@@ -60,8 +68,9 @@ commands:
   result   print a finished job's front as a result file
   mutate   mutate a live job's instance (or replay a timed script)
   cancel   cancel a job
-  list     list retained jobs
-  health   print the daemon's health snapshot
+  list     list retained jobs, grouped by tenant
+  health   print the daemon's liveness and readiness snapshots
+  tenants  per-tenant lanes, quotas and counters (daemon or coordinator)
   cluster  coordinator queries: cluster members | status <id> | result <id>
 `
 
@@ -70,6 +79,7 @@ commands:
 func run(args []string, out io.Writer) error {
 	global := flag.NewFlagSet("tsmoctl", flag.ContinueOnError)
 	server := global.String("server", "localhost:8080", "tsmod address (host:port)")
+	token := global.String("token", "", "tenant API key, sent as Authorization: Bearer on every request")
 	version := global.Bool("version", false, "print the version and exit")
 	global.Usage = func() {
 		fmt.Fprint(global.Output(), usage)
@@ -87,7 +97,7 @@ func run(args []string, out io.Writer) error {
 		global.Usage()
 		return fmt.Errorf("missing command")
 	}
-	c := client{base: "http://" + *server, out: out}
+	c := client{base: "http://" + *server, out: out, token: *token}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
 	case "submit":
@@ -103,9 +113,11 @@ func run(args []string, out io.Writer) error {
 	case "cancel":
 		return c.cancel(rest)
 	case "list":
-		return c.get("/v1/jobs")
+		return c.list()
 	case "health":
-		return c.get("/v1/healthz")
+		return c.health()
+	case "tenants":
+		return c.tenants()
 	case "cluster":
 		return c.cluster(rest)
 	default:
@@ -115,18 +127,48 @@ func run(args []string, out io.Writer) error {
 }
 
 type client struct {
-	base string
-	out  io.Writer
+	base  string
+	out   io.Writer
+	token string
+}
+
+// newReq builds a request against the daemon, attaching the tenant
+// token (when set) and a JSON content type (when there is a body).
+// Every request path funnels through here so -token covers them all.
+func (c *client) newReq(method, path string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
 }
 
 // get pretty-prints the JSON body of one GET endpoint.
 func (c *client) get(path string) error {
-	resp, err := http.Get(c.base + path)
+	resp, err := c.getResp(path)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	return c.printJSON(resp)
+}
+
+func (c *client) getResp(path string) (*http.Response, error) {
+	req, err := c.newReq(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
 }
 
 // printJSON re-indents a JSON response, surfacing API errors as errors.
@@ -174,6 +216,8 @@ func (c *client) submit(args []string) error {
 	fs.StringVar(&spec.Backend, "backend", "", "runtime backend: sim or goroutine (default sim)")
 	fs.IntVar(&spec.SampleEvery, "sample", 0, "record convergence samples every this many evaluations")
 	fs.StringVar(&spec.IdempotencyKey, "idem", "", "idempotency key (default: a fresh random key per invocation)")
+	fs.IntVar(&spec.Priority, "priority", 0, "lane priority within the tenant (clamped to the tenant policy's max)")
+	fs.Float64Var(&spec.DeadlineSeconds, "deadline", 0, "queue-wait deadline in seconds; jobs still queued past it are shed (0 = none)")
 	clusterShare := fs.Bool("cluster-share", false, "coordinator submit: shards exchange archive-entering solutions across nodes")
 	shards := fs.Int("shards", 0, "coordinator submit: fan the job out to this many sibling shards")
 	fs.IntVar(&spec.ShareEvery, "share-every", 0, "cluster-share epoch length in master iterations (0 = solver default)")
@@ -209,7 +253,9 @@ func (c *client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := postWithRetry(c.base+"/v1/jobs", body, *retries)
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return c.newReq(http.MethodPost, "/v1/jobs", body)
+	}, *retries, transientStatus)
 	if err != nil {
 		return err
 	}
@@ -246,7 +292,7 @@ func (c *client) submit(args []string) error {
 // 429/503.
 func (c *client) waitResult(id string, retries int) error {
 	resp, err := doWithRetry(func() (*http.Request, error) {
-		return http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+		return c.newReq(http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 	}, retries, func(code int) bool { return code == http.StatusConflict || transientStatus(code) })
 	if err != nil {
 		return err
@@ -262,7 +308,7 @@ func (c *client) waitResult(id string, retries int) error {
 func (c *client) followCluster(id string) error {
 	last := ""
 	for {
-		resp, err := http.Get(c.base + "/v1/jobs/" + id)
+		resp, err := c.getResp("/v1/jobs/" + id)
 		if err != nil {
 			time.Sleep(time.Second)
 			continue
@@ -319,6 +365,134 @@ func (c *client) cluster(args []string) error {
 	default:
 		return fmt.Errorf("unknown cluster subcommand %q (want members, status or result)", sub)
 	}
+}
+
+// list prints the retained jobs grouped by tenant: one header line per
+// tenant lane, then its jobs with priority, state and instance. Jobs
+// predating multi-tenancy (no tenant field) group under "anonymous".
+func (c *client) list() error {
+	resp, err := c.getResp("/v1/jobs")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp, body)
+	}
+	var lst struct {
+		Jobs []service.Status `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &lst); err != nil {
+		return fmt.Errorf("decoding job list: %w", err)
+	}
+	byTenant := map[string][]service.Status{}
+	for _, st := range lst.Jobs {
+		tn := st.Tenant
+		if tn == "" {
+			tn = "anonymous"
+		}
+		byTenant[tn] = append(byTenant[tn], st)
+	}
+	tenants := make([]string, 0, len(byTenant))
+	for tn := range byTenant {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		jobs := byTenant[tn]
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+		fmt.Fprintf(c.out, "tenant %s (%d jobs)\n", tn, len(jobs))
+		for _, st := range jobs {
+			line := fmt.Sprintf("  %s  %-9s prio=%d  %s %s/p%d evals=%d",
+				st.ID, st.State, st.Priority, st.Instance, st.Algorithm, st.Processors, st.Evaluations)
+			if st.Error != "" {
+				line += "  error: " + st.Error
+			}
+			fmt.Fprintln(c.out, line)
+		}
+	}
+	if len(tenants) == 0 {
+		fmt.Fprintln(c.out, "no jobs")
+	}
+	return nil
+}
+
+// health prints liveness (/v1/healthz — process up, always 200) and
+// readiness (/v1/readyz — accepting new work, 503 with reasons while
+// draining, recovering or shedding) side by side. A not-ready daemon is
+// not an error here: the point of the split is seeing both.
+func (c *client) health() error {
+	if err := c.get("/v1/healthz"); err != nil {
+		return err
+	}
+	resp, err := c.getResp("/v1/readyz")
+	if err != nil {
+		// Coordinators predating /readyz (or pointing health at one) have
+		// no readiness endpoint; liveness alone is the answer there.
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(body), "", "  "); err != nil {
+		buf.Write(body)
+	}
+	fmt.Fprintln(c.out, buf.String())
+	return nil
+}
+
+// tenants renders the per-tenant view — lanes, quotas, counters — as a
+// table. The daemon and the coordinator serve the same shape on
+// /v1/tenants, so this works against either address.
+func (c *client) tenants() error {
+	resp, err := c.getResp("/v1/tenants")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp, body)
+	}
+	var rep struct {
+		Tenants map[string]service.TenantStatus `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding tenants: %w", err)
+	}
+	names := make([]string, 0, len(rep.Tenants))
+	for n := range rep.Tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(c.out, "%-16s %6s %6s %7s %9s %8s %12s\n",
+		"TENANT", "WEIGHT", "QUEUED", "RUNNING", "SUBMITTED", "REJECTED", "RATE(sub/mut)")
+	for _, n := range names {
+		ts := rep.Tenants[n]
+		// An idle tenant has no scheduler lane yet; show its configured
+		// weight rather than the lane's zero value.
+		weight := ts.Lane.Weight
+		if weight == 0 {
+			weight = ts.Policy.Weight
+		}
+		fmt.Fprintf(c.out, "%-16s %6d %6d %7d %9d %8d %8g/%g\n",
+			n, weight, ts.Lane.Queued, ts.Lane.Running,
+			ts.Submitted, ts.Rejected, ts.Policy.SubmitRate, ts.Policy.MutateRate)
+	}
+	return nil
 }
 
 // mutate schedules live instance mutations on a running job, or — with
@@ -419,12 +593,7 @@ func (c *client) sendMutations(id string, epoch int, muts []dynamic.Mutation, re
 		return err
 	}
 	resp, err := doWithRetry(func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPatch, c.base+"/v1/jobs/"+id+"/instance", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		return req, nil
+		return c.newReq(http.MethodPatch, "/v1/jobs/"+id+"/instance", body)
 	}, retries, transientStatus)
 	if err != nil {
 		return err
@@ -459,21 +628,6 @@ func randomKey() string {
 		return fmt.Sprintf("t%d", time.Now().UnixNano())
 	}
 	return hex.EncodeToString(b[:])
-}
-
-// postWithRetry POSTs body, retrying transient failures — connection
-// errors, 429, 503 and other 5xx — with capped exponential backoff and
-// jitter. A Retry-After header on 429/503 overrides the computed delay.
-// Non-transient statuses (400, 404, ...) return immediately.
-func postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
-	return doWithRetry(func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		return req, nil
-	}, retries, transientStatus)
 }
 
 // doWithRetry is the one retry loop every polling path shares: it sends
@@ -563,7 +717,7 @@ func (c *client) cancel(args []string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	req, err := c.newReq(http.MethodDelete, "/v1/jobs/"+id, nil)
 	if err != nil {
 		return err
 	}
@@ -635,7 +789,7 @@ func (e *permanentError) Error() string { return e.err.Error() }
 // transport error that cut the stream short, if any.
 func (c *client) streamOnce(id string, after int) (last int, terminal bool, err error) {
 	last = after
-	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	req, err := c.newReq(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return last, false, &permanentError{err}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 // ctl runs one tsmoctl invocation against the test server and returns its
@@ -185,5 +186,68 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if strings.TrimSpace(out.String()) == "" {
 		t.Error("-version printed nothing")
+	}
+}
+
+// TestTenantCommands drives the tenant-facing CLI surfaces against an
+// in-process multi-tenant daemon: -token authentication on submission,
+// the tenant-grouped list view, the tenants table, the liveness +
+// readiness health view, and the 401 surface for a bad key.
+func TestTenantCommands(t *testing.T) {
+	reg := tenant.NewRegistry(nil)
+	reg.Add(tenant.Policy{Name: "acme", Weight: 3, SubmitRate: 2.5}, "k-acme")
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1, Tenants: reg})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	if _, err := ctl(t, addr, "-token", "k-acme", "submit",
+		"-class", "R1", "-n", "40", "-evals", "1500", "-wait"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, addr, "submit",
+		"-class", "R1", "-n", "40", "-evals", "1500", "-wait"); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ctl(t, addr, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tenant acme (1 jobs)") || !strings.Contains(out, "tenant anonymous (1 jobs)") {
+		t.Errorf("list does not group by tenant:\n%s", out)
+	}
+
+	out, err = ctl(t, addr, "tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TENANT") || !strings.Contains(out, "SUBMITTED") {
+		t.Errorf("tenants table missing its header:\n%s", out)
+	}
+	var acmeRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "acme") {
+			acmeRow = line
+		}
+	}
+	f := strings.Fields(acmeRow)
+	if len(f) < 6 || f[1] != "3" || f[4] != "1" || !strings.HasPrefix(f[6], "2.5/") {
+		t.Errorf("acme row wrong (want weight 3, submitted 1, rate 2.5/...): %q", acmeRow)
+	}
+
+	out, err = ctl(t, addr, "health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ready": true`) {
+		t.Errorf("health does not report readiness:\n%s", out)
+	}
+
+	if _, err := ctl(t, addr, "-token", "nope", "list"); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Errorf("bad token on list: %v; want a 401 error", err)
 	}
 }

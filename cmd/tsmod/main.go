@@ -47,6 +47,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		ckptEvery    = flag.Int("ckpt-every", 0, "search-checkpoint interval in iterations for durable jobs (0 = default 500)")
 		traceDir     = flag.String("trace-dir", "", "directory receiving per-job OTLP/JSON trace exports (empty = off)")
 		traceURL     = flag.String("trace-collector", "", "OTLP/HTTP collector endpoint for terminal-job traces, e.g. http://collector:4318/v1/traces (empty = off)")
+		tenantKeys   = flag.String("tenant-keys", "", "tenant keyfile: API keys, quotas and fair-share weights (empty = anonymous single-tenant)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "grace period for running jobs on shutdown")
 		logLevel     = flag.String("log-level", "info", "slog level: debug, info, warn or error")
 		version      = flag.Bool("version", false, "print the version and exit")
@@ -77,8 +79,16 @@ func main() {
 		fmt.Println(buildinfo.Version())
 		return
 	}
+	var tenants *tenant.Registry
+	if *tenantKeys != "" {
+		var err error
+		if tenants, err = tenant.LoadKeyfile(*tenantKeys, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "tsmod:", err)
+			os.Exit(1)
+		}
+	}
 	if *clusterListen != "" {
-		if err := runCoordinator(*clusterListen, *peers, *clusterTick, *logLevel); err != nil {
+		if err := runCoordinator(*clusterListen, *peers, *clusterTick, *logLevel, tenants); err != nil {
 			fmt.Fprintln(os.Stderr, "tsmod:", err)
 			os.Exit(1)
 		}
@@ -96,6 +106,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		TraceDir:        *traceDir,
 		TraceCollector:  *traceURL,
+		Tenants:         tenants,
 		Version:         buildinfo.Version(),
 	}
 	if *join != "" {
@@ -165,7 +176,9 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, logLevel s
 
 // runCoordinator serves the cluster API over a static peer list, driving
 // the heartbeat/steal/migration loop every tick until SIGINT/SIGTERM.
-func runCoordinator(addr, peerList string, tick time.Duration, logLevel string) error {
+// With a tenant registry, placement becomes tenant-aware: submissions
+// authenticate locally and spread by per-tenant backlog across members.
+func runCoordinator(addr, peerList string, tick time.Duration, logLevel string, tenants *tenant.Registry) error {
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
 		return fmt.Errorf("parsing -log-level: %w", err)
@@ -188,6 +201,7 @@ func runCoordinator(addr, peerList string, tick time.Duration, logLevel string) 
 	coord := cluster.New(cluster.Config{
 		Peers:   peers,
 		Logger:  logger,
+		Tenants: tenants,
 		Version: buildinfo.Version(),
 	})
 	srv := &http.Server{Addr: addr, Handler: coord.Handler()}

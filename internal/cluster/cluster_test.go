@@ -11,6 +11,7 @@ import (
 	"repro/internal/resultio"
 	"repro/internal/service"
 	"repro/internal/solution"
+	"repro/internal/tenant"
 )
 
 func init() {
@@ -414,6 +415,95 @@ func TestClusterSteal(t *testing.T) {
 	}
 }
 
+// TestClusterStealShareShard steals a QUEUED share shard while its
+// sibling is already blocked at the epoch barrier. Canceling the queued
+// shard on the old owner must seal that owner's share feed (the job
+// never ran, so armShares' cleanup never fires), and the sibling's
+// follower must treat the resulting done event as "this incarnation
+// ended" — confirm with the coordinator that the shard is not terminal,
+// re-dial, and land on the new owner through the proxy. Either half
+// missing deadlocks the barrier forever.
+func TestClusterStealShareShard(t *testing.T) {
+	sc := newSim(t, SimOptions{Nodes: 2, Workers: 1, CheckpointEvery: 10})
+
+	// Occupy node1's only worker so the coordinator places both share
+	// shards on node0.
+	blocker, err := sc.Nodes[1].Submit(service.JobSpec{
+		Instance:       service.InstanceSpec{Class: "R1", N: 100, Seed: 7},
+		Algorithm:      "sequential",
+		Seed:           1,
+		MaxEvaluations: 400000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for blocker.State() != service.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started: %s", blocker.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sc.Coord.Tick() // refresh member stats: node1 busy, node0 free
+
+	// Two shards, one worker: shard 0 runs (and stalls at the epoch-1
+	// barrier — the budget is large enough to reach it), shard 1 sits
+	// queued behind it on the same node.
+	id := submit(t, sc, shareReq(60, 2, 20000, 99))
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		sc.Coord.Tick()
+		st, ok := sc.Coord.Status(id)
+		if !ok {
+			t.Fatalf("cluster job %s vanished", id)
+		}
+		if st.Shards[0].State == service.StateRunning && st.Shards[1].State == service.StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached running+queued: %+v", st.Shards)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free node1; the next ticks steal queued shard 1 over to it, which
+	// is the only way the barrier on shard 0 can ever complete.
+	if _, err := sc.Nodes[1].Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.WaitDone(id, 60*time.Second)
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("share job after steal: %v %v", st.State, err)
+	}
+	if st.Shards[1].Node != sc.NodeURLs[1] || st.Shards[1].Attempt == 0 {
+		t.Errorf("shard 1 = %+v; want stolen to %s with a fresh attempt", st.Shards[1], sc.NodeURLs[1])
+	}
+
+	// Shard 0 must have received shard 1's post-steal epochs: shard 1
+	// never published before the steal, so a follower that wrongly
+	// marked the stolen sibling done would finish with zero batches.
+	resp, err := sc.Client.Get(sc.NodeURLs[0] + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Jobs map[string]struct {
+			PeerShares map[string]struct {
+				Batches int64 `json:"batches"`
+			} `json:"peer_shares"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := body.Jobs[st.Shards[0].JobID].PeerShares["shard-1"].Batches; got == 0 {
+		t.Error("shard 0 received no batches from the stolen shard 1")
+	}
+	validateFront(t, mergedResult(t, sc, id), 60)
+}
+
 // TestMergeFronts pins the merge semantics: dominated points drop,
 // duplicates collapse, order is the objective sort.
 func TestMergeFronts(t *testing.T) {
@@ -470,5 +560,77 @@ func TestSubmitMemberRejectionPropagates(t *testing.T) {
 	id := submit(t, sc, ok)
 	if st, err := sc.WaitDone(id, 30*time.Second); err != nil || st.State != service.StateDone {
 		t.Fatalf("valid job after rejection: state %v err %v", st.State, err)
+	}
+}
+
+// TestSubmitProxyRetryAfterVerbatim pins the backpressure relay: when
+// every live member refuses a submission — a tenant rate limit (429) or
+// load shedding (503) — the coordinator's submit proxy answers with the
+// members' own status and Retry-After verbatim, not its own default
+// hint, so callers back off exactly as long as the member asked for.
+func TestSubmitProxyRetryAfterVerbatim(t *testing.T) {
+	// Frozen clock: acme's bucket holds one token and refills at 0.25/s,
+	// so the refusal hint is exactly 4 seconds — distinguishable from
+	// both the members' configured 7s default and the coordinator's 1s.
+	frozen := time.Unix(1_700_000_000, 0)
+	reg := tenant.NewRegistry(func() time.Time { return frozen })
+	reg.Add(tenant.Policy{Name: "acme", SubmitRate: 0.25, SubmitBurst: 1}, "k-acme")
+	sc := newSim(t, SimOptions{
+		Nodes: 2, Workers: 1,
+		Service: service.Config{Tenants: reg, RetryAfter: 7 * time.Second},
+	})
+
+	req := JobRequest{JobSpec: service.JobSpec{
+		Instance:       service.InstanceSpec{Class: "R1", N: 30, Seed: 1},
+		Algorithm:      "sequential",
+		Seed:           1,
+		MaxEvaluations: 800,
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAs := func(token string) *http.Response {
+		t.Helper()
+		hreq, err := http.NewRequest(http.MethodPost, sc.CoordURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			hreq.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := sc.Client.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp
+	}
+
+	// The burst token admits one submission; the tenant registry is
+	// shared by both members, so the second finds every lane dry.
+	if resp := submitAs("k-acme"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first acme submission: %s, want 202", resp.Status)
+	}
+	resp := submitAs("k-acme")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submission through the proxy: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "4" {
+		t.Errorf("proxied 429 Retry-After %q, want the member's verbatim \"4\"", ra)
+	}
+
+	// Load shedding: every member answers 503 with its configured 7s
+	// hint; the proxy must relay that, not its own 1s default.
+	for _, n := range sc.Nodes {
+		n.SetShed(true)
+	}
+	resp = submitAs("")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission against shedding members: %s, want 503", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("proxied 503 Retry-After %q, want the member's verbatim \"7\"", ra)
 	}
 }

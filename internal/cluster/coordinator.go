@@ -42,6 +42,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/solution"
+	"repro/internal/tenant"
 )
 
 // Config parameterizes a Coordinator.
@@ -63,6 +64,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Version is reported by the coordinator's own /v1/healthz.
 	Version string
+	// Tenants, when non-nil, is the coordinator's own view of the member
+	// keyfile: it resolves the caller's Authorization header so routing
+	// can weigh a tenant's existing per-node backlog. nil disables
+	// tenant-aware placement; the header is still forwarded verbatim, so
+	// members enforce their quotas either way.
+	Tenants *tenant.Registry
 }
 
 // JobRequest is the body of POST /v1/jobs on the coordinator: a plain
@@ -103,6 +110,13 @@ type clusterJob struct {
 	Req         JobRequest
 	Shards      []*shardState
 	Traceparent string
+	// Auth is the caller's Authorization header, forwarded verbatim on
+	// every member submission — including migrations and steals, so a
+	// shard never loses its tenant identity by moving. Tenant is the
+	// coordinator-resolved name ("" when Config.Tenants is nil), used
+	// only for placement weighting.
+	Auth   string
+	Tenant string
 }
 
 // member is one static peer plus its last observed health.
@@ -198,14 +212,24 @@ func shardSpecs(id string, req JobRequest) []service.JobSpec {
 	return specs
 }
 
-// Submit fans a cluster job out to the members. Shards that cannot be
-// placed right now (not enough live nodes) stay unplaced and are placed
-// by a later Tick; only when no shard at all can be placed does Submit
-// refuse, with errNoMembers, so the caller can 503-and-retry without the
-// coordinator tracking a ghost job.
-func (c *Coordinator) Submit(req JobRequest, traceparent string) (*clusterJob, error) {
+// Submit fans a cluster job out to the members, forwarding the caller's
+// Authorization header to every member submission. Shards that cannot
+// be placed right now (not enough live nodes) stay unplaced and are
+// placed by a later Tick; only when no shard at all can be placed does
+// Submit refuse — with the members' own backpressure verdict when every
+// live node pushed back (the caller sees their Retry-After verbatim),
+// or errNoMembers when nobody is reachable — so the caller can
+// retry without the coordinator tracking a ghost job.
+func (c *Coordinator) Submit(req JobRequest, traceparent, auth string) (*clusterJob, error) {
 	if req.Shards <= 0 {
 		req.Shards = 1
+	}
+	tn := ""
+	if c.cfg.Tenants != nil {
+		var err error
+		if tn, err = c.cfg.Tenants.Resolve(auth); err != nil {
+			return nil, err
+		}
 	}
 	if req.ShareGroup != "" || req.ShareShard != 0 || req.ShareShards != 0 {
 		return nil, fmt.Errorf("share_group, share_shard, share_shards: cluster-managed fields; use cluster_share and shards")
@@ -220,13 +244,14 @@ func (c *Coordinator) Submit(req JobRequest, traceparent string) (*clusterJob, e
 	c.mu.Lock()
 	c.seq++
 	id := fmt.Sprintf("c%06d", c.seq)
-	j := &clusterJob{ID: id, Req: req, Traceparent: traceparent}
+	j := &clusterJob{ID: id, Req: req, Traceparent: traceparent, Auth: auth, Tenant: tn}
 	for i, sp := range shardSpecs(id, req) {
 		j.Shards = append(j.Shards, &shardState{Shard: i, State: service.StateQueued, spec: sp})
 	}
 	c.mu.Unlock()
 
 	placed := 0
+	var bp *backpressureError
 	for _, sh := range j.Shards {
 		err := c.place(j, sh)
 		var rej *rejectedError
@@ -241,12 +266,18 @@ func (c *Coordinator) Submit(req JobRequest, traceparent string) (*clusterJob, e
 			return nil, err
 		}
 		if err != nil {
+			errors.As(err, &bp)
 			c.logWarn("cluster: shard placement deferred", "job", id, "shard", sh.Shard, "error", err)
 			continue
 		}
 		placed++
 	}
 	if placed == 0 {
+		if bp != nil {
+			// Every live member pushed back (quota or overload); hand the
+			// caller the members' own verdict and Retry-After, verbatim.
+			return nil, bp
+		}
 		return nil, errNoMembers
 	}
 	c.mu.Lock()
@@ -266,14 +297,34 @@ type rejectedError struct{ err error }
 func (e *rejectedError) Error() string { return e.err.Error() }
 func (e *rejectedError) Unwrap() error { return e.err }
 
+// backpressureError marks a member's 429/503 verdict: a healthy node
+// refusing new work (tenant quota, full queue, draining, load shed).
+// Backpressure never marks a node dead — placement just tries the next
+// candidate, and when every live member pushes back the member's status
+// and Retry-After propagate verbatim to the caller.
+type backpressureError struct {
+	status     int
+	retryAfter string // the member's Retry-After header, verbatim
+	err        error
+}
+
+func (e *backpressureError) Error() string { return e.err.Error() }
+func (e *backpressureError) Unwrap() error { return e.err }
+
 // place submits one shard to the least-loaded live node, trying the next
-// candidate when a submission fails (and marking the failing node dead).
-// The shard's idempotency key carries the attempt counter, so a node that
+// candidate when a submission fails (marking the node dead on transport
+// or 5xx failure, merely skipping it on 429/503 backpressure). The
+// shard's idempotency key carries the attempt counter, so a node that
 // already holds this attempt returns the existing job instead of a twin.
 func (c *Coordinator) place(j *clusterJob, sh *shardState) error {
+	tried := make(map[string]bool)
+	var bp *backpressureError
 	for {
-		node := c.pickNode()
+		node := c.pickNode(tried, j.Tenant)
 		if node == "" {
+			if bp != nil {
+				return bp
+			}
 			return errNoMembers
 		}
 		spec := sh.spec
@@ -281,10 +332,21 @@ func (c *Coordinator) place(j *clusterJob, sh *shardState) error {
 		if sh.ckpt != nil {
 			spec.Resume = sh.ckpt
 		}
-		jobID, err := c.submitTo(node, spec, j.Traceparent)
+		jobID, err := c.submitTo(node, spec, j.Traceparent, j.Auth)
 		var rej *rejectedError
 		if errors.As(err, &rej) {
 			return err
+		}
+		var nbp *backpressureError
+		if errors.As(err, &nbp) {
+			// Keep the verdict promising the soonest retry; a co-tenant's
+			// lane freeing on any one node unblocks the caller.
+			if bp == nil || retrySeconds(nbp.retryAfter) < retrySeconds(bp.retryAfter) {
+				bp = nbp
+			}
+			tried[node] = true
+			c.logInfo("cluster: member backpressure, trying next", "node", node, "error", err)
+			continue
 		}
 		if err != nil {
 			c.logWarn("cluster: submission failed, marking node dead", "node", node, "error", err)
@@ -300,19 +362,38 @@ func (c *Coordinator) place(j *clusterJob, sh *shardState) error {
 	}
 }
 
-// pickNode returns the live member with the lowest load estimate (busy
-// workers + queued jobs + placements since its last heartbeat), breaking
-// ties by peer-list order. "" when nobody is alive.
-func (c *Coordinator) pickNode() string {
+// retrySeconds parses a Retry-After header for comparison; missing or
+// malformed values sort last.
+func retrySeconds(v string) int {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 1<<31 - 1
+	}
+	return n
+}
+
+// pickNode returns the live member with the lowest load estimate — busy
+// workers + queued jobs + placements since its last heartbeat, plus the
+// submitting tenant's own backlog on that node when the coordinator is
+// tenant-aware (spreading one tenant across members keeps a flood from
+// monopolizing a single node's lanes) — breaking ties by peer-list
+// order. skip holds nodes that already pushed back on this placement;
+// "" when no further candidate is alive.
+func (c *Coordinator) pickNode(skip map[string]bool, tn string) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	best, bestLoad := "", 0
 	for _, url := range c.cfg.Peers {
 		m := c.members[url]
-		if !m.Alive {
+		if !m.Alive || skip[url] {
 			continue
 		}
 		load := m.Stats.Busy + m.Stats.QueueLen + m.placed
+		if tn != "" {
+			if ls, ok := m.Stats.Tenants[tn]; ok {
+				load += ls.Queued + ls.Running
+			}
+		}
 		if best == "" || load < bestLoad {
 			best, bestLoad = url, load
 		}
@@ -635,6 +716,42 @@ func MergeFronts(recs []resultio.SolutionRecord) []resultio.SolutionRecord {
 	return dedup
 }
 
+// TenantsReport aggregates the members' per-tenant views: lane
+// occupancy and admission counters summed across every live node,
+// keyed by tenant. Policy comes from the first member reporting the
+// tenant (the keyfile is shared, so they agree).
+func (c *Coordinator) TenantsReport() map[string]service.TenantStatus {
+	c.mu.Lock()
+	peers := append([]string(nil), c.cfg.Peers...)
+	c.mu.Unlock()
+	agg := make(map[string]service.TenantStatus)
+	for _, url := range peers {
+		if !c.alive(url) {
+			continue
+		}
+		mt, err := c.memberTenants(url)
+		if err != nil {
+			c.logWarn("cluster: tenant poll failed", "node", url, "error", err)
+			continue
+		}
+		for name, ts := range mt {
+			a, ok := agg[name]
+			if !ok {
+				a.Policy = ts.Policy
+			}
+			a.Lane.Queued += ts.Lane.Queued
+			a.Lane.Running += ts.Lane.Running
+			if ts.Lane.Weight > a.Lane.Weight {
+				a.Lane.Weight = ts.Lane.Weight
+			}
+			a.Submitted += ts.Submitted
+			a.Rejected += ts.Rejected
+			agg[name] = a
+		}
+	}
+	return agg
+}
+
 // ---- member HTTP calls ----------------------------------------------------
 
 func (c *Coordinator) call(method, url string, body io.Reader) (*http.Response, context.CancelFunc, error) {
@@ -672,7 +789,7 @@ func (c *Coordinator) healthz(node string) (*service.Stats, error) {
 	return &st, nil
 }
 
-func (c *Coordinator) submitTo(node string, spec service.JobSpec, traceparent string) (string, error) {
+func (c *Coordinator) submitTo(node string, spec service.JobSpec, traceparent, auth string) (string, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return "", err
@@ -687,6 +804,9 @@ func (c *Coordinator) submitTo(node string, spec service.JobSpec, traceparent st
 	if traceparent != "" {
 		req.Header.Set("traceparent", traceparent)
 	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return "", err
@@ -695,11 +815,19 @@ func (c *Coordinator) submitTo(node string, spec service.JobSpec, traceparent st
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024)) //nolint:errcheck // best-effort detail
 		err := fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
-		// A 4xx (other than 429 backpressure) is the member's verdict on
-		// the spec, not on its own health: every node enforces the same
-		// limits, so retrying elsewhere would reject everywhere. Wrap it
-		// so placement aborts instead of marking healthy nodes dead.
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+		// 429 and 503 are backpressure from a healthy node — quota, full
+		// queue, draining, load shed. Capture the member's Retry-After
+		// verbatim so the caller can see the real hint if every node
+		// pushes back.
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			return "", &backpressureError{status: resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"), err: err}
+		}
+		// Any other 4xx is the member's verdict on the spec, not on its
+		// own health: every node enforces the same limits, so retrying
+		// elsewhere would reject everywhere. Wrap it so placement aborts
+		// instead of marking healthy nodes dead.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
 			return "", &rejectedError{err}
 		}
 		return "", err
@@ -757,6 +885,25 @@ func (c *Coordinator) jobCheckpoint(node, jobID string) ([]byte, int, error) {
 	}
 	barrier, _ := strconv.Atoi(resp.Header.Get("X-Checkpoint-Barrier")) //nolint:errcheck // 0 on absence
 	return data, barrier, nil
+}
+
+func (c *Coordinator) memberTenants(node string) (map[string]service.TenantStatus, error) {
+	resp, cancel, err := c.call(http.MethodGet, node+"/v1/tenants", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tenants: %s", resp.Status)
+	}
+	var body struct {
+		Tenants map[string]service.TenantStatus `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Tenants, nil
 }
 
 func (c *Coordinator) cancelJob(node, jobID string) error {

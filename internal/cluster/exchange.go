@@ -143,7 +143,12 @@ func (g *gatherer) markDone(shard int) {
 // follow subscribes to one sibling's share stream and keeps it flowing
 // across failures: a broken stream or a 503 from the proxy (sibling
 // between owners) backs off and reconnects with the index cursor; a 410
-// means the sibling is gone for good.
+// means the sibling is gone for good. A done event only ends the
+// current incarnation's stream — the shard may have been canceled for a
+// steal or migration and be restarting elsewhere — so the follower asks
+// the coordinator whether the shard is truly terminal before giving up;
+// otherwise it re-dials and the proxy routes to the new owner (the
+// cursor and first-wins epoch dedup absorb the bit-identical republish).
 func (g *gatherer) follow(shard int) {
 	defer g.wg.Done()
 	peer := "shard-" + strconv.Itoa(shard)
@@ -151,8 +156,11 @@ func (g *gatherer) follow(shard int) {
 	for {
 		done, err := g.stream(shard, peer, &cursor)
 		if done {
-			g.markDone(shard)
-			return
+			if g.shardFinished(shard) {
+				g.markDone(shard)
+				return
+			}
+			err = nil // mid-flight cancel, not a countable peer failure
 		}
 		if err != nil && g.ctx.Err() == nil {
 			g.tel.PeerShares().Get(peer).Bad()
@@ -163,6 +171,41 @@ func (g *gatherer) follow(shard int) {
 		case <-time.After(shareRetryDelay):
 		}
 	}
+}
+
+// shardFinished asks the coordinator whether a sibling shard is
+// terminal — the arbiter that distinguishes "finished for good" from
+// "this incarnation was canceled mid-flight and is restarting on
+// another node". Unreachable or undecided answers report false: the
+// follower keeps re-dialing, which is always safe.
+func (g *gatherer) shardFinished(shard int) bool {
+	req, err := http.NewRequestWithContext(g.ctx, http.MethodGet, g.base+"/v1/jobs/"+g.group, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var st struct {
+		Shards []struct {
+			Shard int           `json:"shard"`
+			State service.State `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return false
+	}
+	for _, sh := range st.Shards {
+		if sh.Shard == shard {
+			return sh.State.Terminal()
+		}
+	}
+	return false
 }
 
 // stream runs one subscription attempt. It returns done=true when the

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // Handler returns the coordinator's HTTP API:
@@ -17,6 +19,7 @@ import (
 //	GET    /v1/jobs/{id}/result        merged non-dominated front (409 until every shard is done)
 //	GET    /v1/shares/{group}/{shard}  SSE share proxy to the shard's current owner
 //	GET    /v1/members                 membership and liveness
+//	GET    /v1/tenants                 per-tenant lanes and counters, summed across live members
 //	GET    /v1/healthz                 coordinator health
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -25,6 +28,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
 	mux.HandleFunc("GET /v1/shares/{group}/{shard}", c.handleShareProxy)
 	mux.HandleFunc("GET /v1/members", c.handleMembers)
+	mux.HandleFunc("GET /v1/tenants", c.handleTenants)
 	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
 	return mux
 }
@@ -58,11 +62,26 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tp := r.Header.Get("traceparent"); tp != "" {
 		req.Traceparent = tp
 	}
-	j, err := c.Submit(req, req.Traceparent)
+	j, err := c.Submit(req, req.Traceparent, r.Header.Get("Authorization"))
+	var bp *backpressureError
 	switch {
+	case errors.As(err, &bp):
+		// Every live member pushed back: relay their verdict — status and
+		// Retry-After — verbatim, so the caller backs off exactly as long
+		// as the member that will free up soonest asked for.
+		if bp.retryAfter != "" {
+			w.Header().Set("Retry-After", bp.retryAfter)
+		} else {
+			c.retryAfter(w)
+		}
+		c.writeError(w, bp.status, err)
+		return
 	case errors.Is(err, errNoMembers):
 		c.retryAfter(w)
 		c.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, tenant.ErrUnauthorized):
+		c.writeError(w, http.StatusUnauthorized, err)
 		return
 	case err != nil:
 		c.writeError(w, http.StatusBadRequest, err)
@@ -120,6 +139,13 @@ func (c *Coordinator) handleMembers(w http.ResponseWriter, _ *http.Request) {
 	}
 	c.mu.Unlock()
 	c.writeJSON(w, http.StatusOK, map[string]any{"members": out})
+}
+
+// handleTenants serves the cluster-wide tenant view: each member's
+// /v1/tenants summed per tenant. Same shape as the member endpoint, so
+// tsmoctl tenants works against either address.
+func (c *Coordinator) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	c.writeJSON(w, http.StatusOK, map[string]any{"tenants": c.TenantsReport()})
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {

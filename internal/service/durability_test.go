@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/dynamic"
 )
 
 // durableConfig is a durable single-worker service rooted at a fresh
@@ -377,5 +381,185 @@ func TestJournalCompaction(t *testing.T) {
 	// 3 jobs × (submit + done), nothing else.
 	if len(recs) != 6 {
 		t.Errorf("compacted journal has %d records, want 6", len(recs))
+	}
+}
+
+// TestTornMutateBeforeCkptRecovery doctors a crash snapshot so the torn
+// journal record is a mutate immediately followed by a ckpt record for
+// the same job — the nastiest WAL tail for the exactly-once fold,
+// because the checkpoint on disk embodies a mutation the journal no
+// longer proves. Recovery must notice the digest mismatch, discard the
+// checkpoint, and restart from scratch with only the surviving batch
+// re-primed: the torn batch is not half- or double-applied (the folded
+// window), and the intact batch applies exactly once (the re-prime
+// window). The recovered front must be bit-identical to a reference run
+// that only ever had the surviving batch.
+func TestTornMutateBeforeCkptRecovery(t *testing.T) {
+	spec := smallSpec()
+	spec.MaxEvaluations = 60_000
+	mutTorn := []dynamic.Mutation{{Version: dynamic.Version, Op: dynamic.CancelCustomer, Customer: 5}}
+	mutKept := []dynamic.Mutation{{Version: dynamic.Version, Op: dynamic.UpdateDemand, Customer: 3, Demand: 5}}
+
+	// startPinned submits spec behind a worker-blocking job, pins the
+	// given batches to their epochs while the job is still queued (so the
+	// schedule is exact), then releases the worker.
+	startPinned := func(svc *Service, batches map[int][]dynamic.Mutation) *Job {
+		t.Helper()
+		blocker, err := svc.Submit(longSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, blocker, StateRunning)
+		j, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs := make([]int, 0, len(batches))
+		for e := range batches {
+			epochs = append(epochs, e)
+		}
+		sort.Ints(epochs)
+		for _, e := range epochs {
+			if _, err := svc.Mutate(j.ID, e, batches[e]); err != nil {
+				t.Fatalf("pinning batch at epoch %d: %v", e, err)
+			}
+		}
+		if _, err := svc.Cancel(blocker.ID); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	// Reference: a run that only ever had the surviving batch.
+	refCfg := Config{Workers: 1, DataDir: t.TempDir(), CheckpointEvery: 3, MaxEvaluations: -1}
+	refSvc := New(refCfg)
+	refJob := startPinned(refSvc, map[int][]dynamic.Mutation{4: mutKept})
+	waitState(t, refJob, StateDone)
+	ref := refJob.Result()
+	if ref == nil || len(ref.Front) == 0 {
+		t.Fatal("reference job produced no front")
+	}
+	refSvc.Close()
+
+	// Victim: both batches pinned; snapshot once the checkpoint is past
+	// both barriers, so both batches are in the checkpoint's folded
+	// window.
+	cfg := Config{Workers: 1, DataDir: t.TempDir(), CheckpointEvery: 3, MaxEvaluations: -1}
+	svc := New(cfg)
+	j := startPinned(svc, map[int][]dynamic.Mutation{2: mutTorn, 4: mutKept})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, barrier := j.CheckpointData(); barrier >= 5 {
+			break
+		}
+		if j.State().Terminal() {
+			t.Fatal("job finished before reaching barrier 5; raise the budget")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached barrier 5")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snapshot := t.TempDir()
+	copyTree(t, cfg.DataDir, snapshot)
+	svc.Close()
+
+	// Doctor the snapshot's journal: the victim job's records become
+	// submit, start, the intact mutate@4, a torn half of mutate@2, then
+	// its ckpt records — so the torn record is a mutate immediately
+	// followed by a ckpt record for the same job.
+	jpath := filepath.Join(snapshot, "journal.jsonl")
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var head, ckpts []string
+	var submitLine, startLine, tornLine, keptLine string
+	for _, line := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("snapshot journal has an unparsable line before doctoring: %q", line)
+		}
+		if rec.Job != j.ID {
+			head = append(head, line)
+			continue
+		}
+		switch rec.Type {
+		case "submit":
+			submitLine = line
+		case "start":
+			startLine = line
+		case "mutate":
+			if rec.Barrier == 2 {
+				tornLine = line
+			} else {
+				keptLine = line
+			}
+		case "ckpt":
+			ckpts = append(ckpts, line)
+		default:
+			t.Fatalf("unexpected %q record for the running victim", rec.Type)
+		}
+	}
+	if submitLine == "" || startLine == "" || tornLine == "" || keptLine == "" || len(ckpts) == 0 {
+		t.Fatalf("snapshot journal is missing records: submit=%t start=%t mut2=%t mut4=%t ckpts=%d",
+			submitLine != "", startLine != "", tornLine != "", keptLine != "", len(ckpts))
+	}
+	torn := tornLine[:len(tornLine)/2]
+	if json.Valid([]byte(torn)) {
+		t.Fatalf("half of the mutate record still parses: %q", torn)
+	}
+	doctored := append(append([]string{}, head...), submitLine, startLine, keptLine, torn)
+	doctored = append(doctored, ckpts...)
+	// Guard: the satellite scenario demands the torn mutate be followed
+	// immediately by a ckpt record for the same job.
+	var next journalRecord
+	if err := json.Unmarshal([]byte(doctored[len(head)+4]), &next); err != nil ||
+		next.Type != "ckpt" || next.Job != j.ID {
+		t.Fatalf("doctored journal does not place a ckpt right after the torn mutate: %+v", next)
+	}
+	if err := os.WriteFile(jpath, []byte(strings.Join(doctored, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover from the doctored snapshot.
+	cfg2 := cfg
+	cfg2.DataDir = snapshot
+	svc2, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	st := svc2.Stats()
+	if st.TornRecords != 1 {
+		t.Errorf("torn records: got %d, want 1", st.TornRecords)
+	}
+	if st.Requeued != 1 {
+		t.Errorf("requeued jobs: got %d, want 1", st.Requeued)
+	}
+	j2, ok := svc2.Job(j.ID)
+	if !ok {
+		t.Fatal("victim job not recovered")
+	}
+	// The checkpoint embodied the torn batch, so the digest cannot match
+	// the surviving mutation log: recovery must have discarded it.
+	if _, barrier := j2.CheckpointData(); barrier != 0 {
+		t.Errorf("recovery kept a checkpoint (barrier %d) that embodies the torn mutation", barrier)
+	}
+	waitState(t, j2, StateDone)
+	res := j2.Result()
+	if res == nil {
+		t.Fatal("recovered job produced no result")
+	}
+	if res.Evaluations != ref.Evaluations {
+		t.Errorf("evaluations: recovered %d, reference %d", res.Evaluations, ref.Evaluations)
+	}
+	if len(res.Front) != len(ref.Front) {
+		t.Fatalf("front size: recovered %d, reference %d", len(res.Front), len(ref.Front))
+	}
+	for i := range ref.Front {
+		if res.Front[i].Obj != ref.Front[i].Obj {
+			t.Errorf("front[%d] objectives: recovered %+v, reference %+v", i, res.Front[i].Obj, ref.Front[i].Obj)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/tenant"
 	"repro/internal/vrptw"
 )
 
@@ -70,15 +71,31 @@ func fingerprintNote(granularK, evalWorkers int) string {
 	return fmt.Sprintf("granular_k=%d eval_workers=%d", granularK, evalWorkers)
 }
 
-// Mutate schedules a batch of instance mutations on a live job. epoch
-// pins the batch to an explicit checkpoint barrier (a timed replay
-// script, or recovery re-priming); 0 lets the schedule pick the next
-// barrier the run has not reached. The batch is validated against the
-// projection of the job's base instance through the full mutation log
-// and journaled before it becomes visible to the run — atomically with
-// the pinning, so a batch the run can observe is always both valid and
-// durable. It returns the epoch the batch landed on.
+// Mutate schedules a mutation batch as the anonymous tenant — the
+// single-tenant API of older embedders. See MutateAs.
 func (s *Service) Mutate(id string, epoch int, muts []dynamic.Mutation) (int, error) {
+	return s.MutateAs(tenant.Anonymous, id, epoch, muts)
+}
+
+// MutateAs schedules a batch of instance mutations on a live job, on
+// behalf of the calling tenant. epoch pins the batch to an explicit
+// checkpoint barrier (a timed replay script, or recovery re-priming); 0
+// lets the schedule pick the next barrier the run has not reached. The
+// batch is validated against the projection of the job's base instance
+// through the full mutation log and journaled before it becomes visible
+// to the run — atomically with the pinning, so a batch the run can
+// observe is always both valid and durable. It returns the epoch the
+// batch landed on.
+//
+// Admission runs before any of that: a shedding service refuses with
+// ErrLoadShed, a caller whose mutate token bucket is empty with
+// ErrRateLimited (both in a QuotaError carrying Retry-After — the
+// mutation-storm shed), and a batch that would blow the job's lifetime
+// mutation budget — the hard backstop, charged against the job owner's
+// policy — with ErrMutationBudget. A shed batch is never journaled and
+// never consumes budget, so the run's mutation log stays exactly the
+// accepted prefix.
+func (s *Service) MutateAs(caller, id string, epoch int, muts []dynamic.Mutation) (int, error) {
 	j, ok := s.Job(id)
 	if !ok {
 		return 0, ErrNotFound
@@ -88,6 +105,29 @@ func (s *Service) Mutate(id string, epoch int, muts []dynamic.Mutation) (int, er
 	}
 	if j.State().Terminal() {
 		return 0, ErrTerminal
+	}
+	if s.shedding() {
+		s.met.rejectTenant(caller, "load_shed")
+		return 0, &QuotaError{Err: ErrLoadShed, After: s.cfg.RetryAfter}
+	}
+	if ok, retry := s.cfg.Tenants.TakeMutate(caller); !ok {
+		s.met.rejectTenant(caller, "mutate_rate_limited")
+		return 0, &QuotaError{Err: ErrRateLimited, After: retry}
+	}
+	// Reserve the batch against the job's lifetime budget before the
+	// commit; a failed commit refunds it. The budget is the job owner's,
+	// not the caller's: it bounds how much re-splicing one job can ever
+	// absorb regardless of who feeds it.
+	budget := s.cfg.Tenants.Policy(j.Spec.Tenant).MutationBudget
+	if budget > 0 {
+		j.mu.Lock()
+		if j.mutScheduled+len(muts) > budget {
+			j.mu.Unlock()
+			s.met.rejectTenant(caller, "mutation_budget")
+			return 0, fmt.Errorf("%w (%d of %d used)", ErrMutationBudget, j.mutScheduled, budget)
+		}
+		j.mutScheduled += len(muts)
+		j.mu.Unlock()
 	}
 	committed, err := j.dyn.AddFunc(epoch, muts, func(e int, log []dynamic.Mutation) error {
 		if _, err := dynamic.Project(j.in, log); err != nil {
@@ -101,6 +141,16 @@ func (s *Service) Mutate(id string, epoch int, muts []dynamic.Mutation) (int, er
 		return nil
 	})
 	if err != nil {
+		if budget > 0 {
+			j.mu.Lock()
+			j.mutScheduled -= len(muts) // refund the reservation
+			j.mu.Unlock()
+		}
+		if errors.Is(err, ErrStorage) {
+			// The WAL refused the mutate record: shed for one window so
+			// the disk gets quiet time, like the submission path does.
+			s.armShed()
+		}
 		return 0, err
 	}
 	// A batch accepted after the run turned terminal (the terminal

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/resultio"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -30,10 +32,16 @@ const maxBodyBytes = 8 << 20
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/flight flight recording (periodic convergence samples)
 //	GET    /v1/jobs/{id}/trace  recorded spans as OTLP/JSON
-//	GET    /v1/healthz          service health, version, queue occupancy
+//	GET    /v1/healthz          liveness: process health, version, occupancy
+//	GET    /v1/readyz           readiness: 503 while draining/recovering/shedding
+//	GET    /v1/tenants          per-tenant policies, lane occupancy, counters
 //	GET    /metrics             Prometheus text-format exposition
 //	GET    /telemetry           per-job instrument snapshots
 //	/debug/pprof/*, /debug/vars from internal/telemetry
+//
+// Requests carrying an Authorization header are resolved to their tenant
+// before routing; an unknown bearer token is refused with 401 everywhere.
+// Requests without credentials are the anonymous tenant.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -48,10 +56,41 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/shares/{group}/{shard}", s.handleShares)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz) // kubelet-style alias
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
 	telemetry.RegisterDebug(mux)
-	return mux
+	return s.withTenant(mux)
+}
+
+// tenantKey carries the resolved tenant name in the request context.
+type tenantKey struct{}
+
+// withTenant resolves the Authorization header to a tenant once per
+// request, before routing. Unknown credentials are refused here so no
+// handler ever sees them; absent credentials resolve to the anonymous
+// tenant, keeping every pre-multi-tenant client working unchanged.
+func (s *Service) withTenant(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.cfg.Tenants.Resolve(r.Header.Get("Authorization"))
+		if err != nil {
+			s.met.reject("unauthorized")
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn)))
+	})
+}
+
+// tenantFrom reads the tenant the middleware resolved; anonymous when
+// the handler is exercised without it (direct embedder tests).
+func tenantFrom(ctx context.Context) string {
+	if tn, ok := ctx.Value(tenantKey{}).(string); ok {
+		return tn
+	}
+	return tenant.Anonymous
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -87,20 +126,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tp := r.Header.Get("traceparent"); tp != "" {
 		spec.Traceparent = tp
 	}
-	j, err := s.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrStorage):
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	case err != nil:
+	j, err := s.SubmitAs(tenantFrom(r.Context()), spec)
+	if err != nil {
+		if s.writeAdmissionError(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -125,6 +155,33 @@ func retryAfterSeconds(d time.Duration) string {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// writeAdmissionError maps the shared admission failure modes — quota
+// refusals to 429, unavailability to 503, storage to 500, all
+// backpressure responses carrying Retry-After (a QuotaError's exact
+// bucket hint when present, the configured default otherwise). Reports
+// false for errors it does not own (the caller maps those).
+func (s *Service) writeAdmissionError(w http.ResponseWriter, err error) bool {
+	retry := s.cfg.RetryAfter
+	var qe *QuotaError
+	if errors.As(err, &qe) && qe.After > 0 {
+		retry = qe.After
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull),
+		errors.Is(err, ErrRateLimited), errors.Is(err, ErrMutationBudget):
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrLoadShed):
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrStorage):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		return false
+	}
+	return true
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -239,7 +296,7 @@ func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
 			muts[i].Version = dynamic.Version
 		}
 	}
-	epoch, err := s.Mutate(j.ID, req.Epoch, muts)
+	epoch, err := s.MutateAs(tenantFrom(r.Context()), j.ID, req.Epoch, muts)
 	switch {
 	case errors.Is(err, ErrTerminal), errors.Is(err, ErrNotDynamic):
 		writeError(w, http.StatusConflict, err)
@@ -247,18 +304,93 @@ func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, dynamic.ErrEpochPassed):
 		writeError(w, http.StatusConflict, err)
 		return
-	case errors.Is(err, ErrStorage):
-		writeError(w, http.StatusInternalServerError, err)
-		return
 	case err != nil:
+		if s.writeAdmissionError(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MutateResponse{ID: j.ID, Epoch: epoch, Mutations: len(muts)})
 }
 
+// handleHealthz is liveness: the process is up and answering. It always
+// returns 200 — a draining or shedding daemon is alive. Routing
+// decisions belong on /v1/readyz.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// ReadyResponse is the body of GET /v1/readyz.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reasons lists why the service refuses new work: "draining",
+	// "recovering", "load_shed". Empty when ready.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// handleReadyz is readiness: 200 while the service accepts new work,
+// 503 (with the reasons) while it is draining, recovering requeued
+// jobs, or shedding load. Load balancers route on this; liveness stays
+// on /v1/healthz.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reasons := s.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	}
+	writeJSON(w, status, ReadyResponse{Ready: ready, Reasons: reasons})
+}
+
+// TenantStatus is one tenant's row in GET /v1/tenants: its policy, lane
+// occupancy, and lifetime admission counters.
+type TenantStatus struct {
+	Policy    tenant.Policy `json:"policy"`
+	Lane      LaneStat      `json:"lane"`
+	Submitted int64         `json:"submitted"`
+	Rejected  int64         `json:"rejected"`
+}
+
+// Tenants reports every configured tenant plus any tenant that still
+// holds a lane (a recovered job of a since-deleted tenant).
+func (s *Service) Tenants() map[string]TenantStatus {
+	lanes := s.sched.stats()
+	out := make(map[string]TenantStatus)
+	for _, name := range s.cfg.Tenants.Names() {
+		out[name] = TenantStatus{Policy: s.cfg.Tenants.Policy(name)}
+	}
+	for name, ls := range lanes {
+		ts, ok := out[name]
+		if !ok {
+			ts.Policy = s.cfg.Tenants.Policy(name)
+		}
+		ts.Lane = ls
+		out[name] = ts
+	}
+	s.met.mu.Lock()
+	for name, n := range s.met.tenantSubmitted {
+		ts, ok := out[name]
+		if !ok {
+			ts.Policy = s.cfg.Tenants.Policy(name)
+		}
+		ts.Submitted = n
+		out[name] = ts
+	}
+	for name, n := range s.met.tenantRejected {
+		ts, ok := out[name]
+		if !ok {
+			ts.Policy = s.cfg.Tenants.Policy(name)
+		}
+		ts.Rejected = n
+		out[name] = ts
+	}
+	s.met.mu.Unlock()
+	return out
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.Tenants()})
 }
 
 // handleTelemetry reports the live instrument snapshot of every retained

@@ -15,6 +15,7 @@ import (
 	"repro/internal/resultio"
 	"repro/internal/solution"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/vrptw"
 )
@@ -105,6 +106,21 @@ type JobSpec struct {
 	// as long as their job is retained and survive daemon restarts on
 	// durable services.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Tenant is the owning tenant — the scheduler lane the job waits
+	// in. The service sets it from the request's credentials (a
+	// client-supplied value is overwritten), and it is journaled so
+	// recovery re-queues the job into the same lane.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the job within its tenant's lane: higher
+	// dispatches first, equal priorities FIFO. Clamped to the tenant
+	// policy's MaxPriority; it never affects other tenants' shares.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineSeconds, when positive, is a client deadline relative to
+	// submission: a job still queued past it is shed (failed, never
+	// started), and a running job's searcher context is bounded by it —
+	// deadline propagation from client to search loop. After a crash,
+	// recovery re-arms it relative to the restart.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	// ShareGroup, ShareShard and ShareShards make the job one shard of a
 	// cluster-share group: its archive-entering solutions are published on
 	// GET /v1/shares/{group}/{shard} and, when ShareShards > 1, the
@@ -198,6 +214,18 @@ type Job struct {
 	// is reachable.
 	resume   *core.Checkpoint
 	restored *resultio.FrontFile
+
+	// deadline is the absolute client deadline (JobSpec.DeadlineSeconds
+	// past submission), zero when none. recoveredPending marks a
+	// recovery-requeued job whose first dispatch (or cancellation)
+	// decrements the service's recovering gauge, exactly once.
+	deadline         time.Time
+	recoveredPending bool
+	recoveredOnce    sync.Once
+
+	// mutScheduled counts mutations accepted onto this job, enforcing
+	// the tenant policy's per-job MutationBudget. Guarded by j.mu.
+	mutScheduled int
 
 	// dyn is the job's live-mutation schedule, nil when the job cannot
 	// accept instance mutations (no checkpoint barriers, or a
@@ -369,6 +397,20 @@ func newJob(spec JobSpec, limits *Config) (*Job, error) {
 	}
 	if wall > 0 {
 		j.wall = time.Duration(wall * float64(time.Second))
+	}
+	if spec.DeadlineSeconds < 0 {
+		return nil, fmt.Errorf("deadline_seconds: must be >= 0, got %g", spec.DeadlineSeconds)
+	}
+	if spec.DeadlineSeconds > 0 {
+		// Anchored at materialization: submission time for new jobs, the
+		// restart for recovered ones (the original anchor died with the
+		// old process; re-arming the full window is the lenient choice).
+		j.deadline = time.Now().Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
+	}
+	if j.Spec.Tenant == "" {
+		// Pre-tenancy journals and embedded callers: everything without
+		// an owner is the anonymous tenant.
+		j.Spec.Tenant = tenant.Anonymous
 	}
 
 	// A per-job telemetry layer with an event hook: the solver's stream
@@ -563,8 +605,15 @@ func (j *Job) eventsSince(after int) (evs []Event, notify <-chan struct{}, lastS
 // Status is the JSON body of GET /v1/jobs/{id}: job identity and state,
 // live progress counters, and the current front with its quality metrics.
 type Status struct {
-	ID          string     `json:"id"`
-	State       State      `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Tenant is the owning tenant and Lane its scheduler lane (today
+	// always equal; the split leaves room for sub-tenant lanes), so
+	// listings group by tenant without a second endpoint. Priority is
+	// the post-clamp lane priority.
+	Tenant      string     `json:"tenant,omitempty"`
+	Lane        string     `json:"lane,omitempty"`
+	Priority    int        `json:"priority,omitempty"`
 	Instance    string     `json:"instance"`
 	Customers   int        `json:"customers"`
 	Algorithm   string     `json:"algorithm"`
@@ -619,6 +668,9 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:           j.ID,
 		State:        j.state,
+		Tenant:       j.Spec.Tenant,
+		Lane:         j.Spec.Tenant,
+		Priority:     j.Spec.Priority,
 		Instance:     j.instName,
 		Customers:    j.in.N(),
 		Algorithm:    j.alg.String(),
@@ -784,6 +836,20 @@ func (j *Job) terminalLocked(state State, fields map[string]any) {
 		j.queueSpan.End()
 		j.rootSpan.SetAttr("state", string(state)).End()
 		if j.svc != nil {
+			// A job that turned terminal without ever dispatching still
+			// occupies its lane slot bookkeeping: pull it out of the
+			// scheduler (no-op if a worker already popped it) and settle
+			// the recovering gauge. Both are leaf locks under j.mu.
+			j.svc.sched.remove(j)
+			j.recoveredDispatched()
+			if j.Spec.ShareGroup != "" {
+				// Seal the share feed. armShares' cleanup does this for
+				// jobs that ran, but a share job that turns terminal
+				// without ever starting (canceled while queued — a work
+				// steal, say) has no cleanup, and an unfinished feed
+				// strands sibling subscribers on a silent stream forever.
+				j.svc.shares.feed(j.Spec.ShareGroup, j.Spec.ShareShard).finish()
+			}
 			// Fold this job's final telemetry into the service-wide
 			// Prometheus aggregation and record the SLO observations
 			// (lock order j.mu -> met.mu).
@@ -791,7 +857,7 @@ func (j *Job) terminalLocked(state State, fields map[string]any) {
 			if start.IsZero() {
 				start = j.finished // canceled while queued: all wait, no run
 			}
-			j.svc.met.complete(string(state), start.Sub(j.submitted),
+			j.svc.met.complete(string(state), j.Spec.Tenant, start.Sub(j.submitted),
 				j.finished.Sub(j.submitted), !j.firstPoint.IsZero(), j.firstPoint.Sub(j.submitted))
 			j.svc.met.fold(j.ID, j.tel.Samples())
 			// Persist before releasing the drain waiter: once jobDone
@@ -802,6 +868,17 @@ func (j *Job) terminalLocked(state State, fields map[string]any) {
 			j.svc.jobDone()
 		}
 	})
+}
+
+// recoveredDispatched settles the service's recovering gauge for a
+// recovery-requeued job, exactly once: called when a worker first picks
+// the job up, and from the terminal path for recovered jobs canceled
+// while still queued. Atomic — safe under j.mu.
+func (j *Job) recoveredDispatched() {
+	if j.svc == nil || !j.recoveredPending {
+		return
+	}
+	j.recoveredOnce.Do(func() { j.svc.recovering.Add(-1) })
 }
 
 // Cancel requests cancellation. A queued job turns canceled immediately; a

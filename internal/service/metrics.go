@@ -33,6 +33,15 @@ type svcMetrics struct {
 	retired   map[string]telemetry.Sample
 	folded    map[string]bool // job IDs whose telemetry is in retired
 
+	// Per-tenant admission counters and SLO histograms, keyed by
+	// tenant. The histograms are created on a tenant's first
+	// observation and never removed, so every exposed series is
+	// monotone across scrapes like the rest.
+	tenantSubmitted  map[string]int64
+	tenantRejected   map[string]int64
+	tenantQueueWait  map[string]*telemetry.Histogram
+	tenantFirstPoint map[string]*telemetry.Histogram
+
 	// The SLO histograms, in nanoseconds (exposed in seconds):
 	// submit->start, submit->first front point, submit->terminal.
 	queueWait  telemetry.Histogram
@@ -42,16 +51,23 @@ type svcMetrics struct {
 
 func newSvcMetrics() *svcMetrics {
 	return &svcMetrics{
-		rejected:  make(map[string]int64),
-		completed: make(map[string]int64),
-		retired:   make(map[string]telemetry.Sample),
-		folded:    make(map[string]bool),
+		rejected:         make(map[string]int64),
+		completed:        make(map[string]int64),
+		retired:          make(map[string]telemetry.Sample),
+		folded:           make(map[string]bool),
+		tenantSubmitted:  make(map[string]int64),
+		tenantRejected:   make(map[string]int64),
+		tenantQueueWait:  make(map[string]*telemetry.Histogram),
+		tenantFirstPoint: make(map[string]*telemetry.Histogram),
 	}
 }
 
-func (m *svcMetrics) submit() {
+// submitTenant counts one accepted submission, globally and for the
+// tenant.
+func (m *svcMetrics) submitTenant(tn string) {
 	m.mu.Lock()
 	m.submitted++
+	m.tenantSubmitted[tn]++
 	m.mu.Unlock()
 }
 
@@ -61,14 +77,36 @@ func (m *svcMetrics) reject(reason string) {
 	m.mu.Unlock()
 }
 
-func (m *svcMetrics) complete(state string, queued, total time.Duration, sawPoint bool, firstPoint time.Duration) {
+// rejectTenant counts one quota/admission refusal: globally by reason,
+// and per tenant (the tenant series aggregates across reasons — the
+// exposition keeps one label per series).
+func (m *svcMetrics) rejectTenant(tn, reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.tenantRejected[tn]++
+	m.mu.Unlock()
+}
+
+func (m *svcMetrics) complete(state, tn string, queued, total time.Duration, sawPoint bool, firstPoint time.Duration) {
 	m.mu.Lock()
 	m.completed[state]++
+	qw := m.tenantQueueWait[tn]
+	if qw == nil {
+		qw = &telemetry.Histogram{}
+		m.tenantQueueWait[tn] = qw
+	}
+	fp := m.tenantFirstPoint[tn]
+	if fp == nil {
+		fp = &telemetry.Histogram{}
+		m.tenantFirstPoint[tn] = fp
+	}
 	m.mu.Unlock()
 	m.queueWait.ObserveDuration(queued)
 	m.duration.ObserveDuration(total)
+	qw.ObserveDuration(queued)
 	if sawPoint {
 		m.firstPoint.ObserveDuration(firstPoint)
+		fp.ObserveDuration(firstPoint)
 	}
 }
 
@@ -123,6 +161,38 @@ func (m *svcMetrics) writeMetrics(w io.Writer, st Stats, jobs []*Job) error {
 		}
 	}
 
+	// Per-lane occupancy gauges, one series per tenant.
+	tenants := make([]string, 0, len(st.Tenants))
+	for tn := range st.Tenants {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	queuedRows := make([]telemetry.GaugeRow, 0, len(tenants))
+	runningRows := make([]telemetry.GaugeRow, 0, len(tenants))
+	weightRows := make([]telemetry.GaugeRow, 0, len(tenants))
+	for _, tn := range tenants {
+		ls := st.Tenants[tn]
+		label := [][2]string{{"tenant", tn}}
+		queuedRows = append(queuedRows, telemetry.GaugeRow{Labels: label, V: float64(ls.Queued)})
+		runningRows = append(runningRows, telemetry.GaugeRow{Labels: label, V: float64(ls.Running)})
+		weightRows = append(weightRows, telemetry.GaugeRow{Labels: label, V: float64(ls.Weight)})
+	}
+	for _, g := range []struct {
+		name, help string
+		rows       []telemetry.GaugeRow
+	}{
+		{"tsmod_tenant_queued", "Jobs waiting in the tenant's scheduler lane.", queuedRows},
+		{"tsmod_tenant_running", "Tenant jobs currently running.", runningRows},
+		{"tsmod_tenant_weight", "Fair-share weight of the tenant's lane.", weightRows},
+	} {
+		if len(g.rows) == 0 {
+			continue
+		}
+		if err := telemetry.WritePromGaugeVec(w, g.name, g.help, g.rows); err != nil {
+			return err
+		}
+	}
+
 	m.mu.Lock()
 	life := []telemetry.Sample{{Name: "tsmod_jobs_submitted_total", V: float64(m.submitted)}}
 	for reason, n := range m.rejected {
@@ -133,6 +203,26 @@ func (m *svcMetrics) writeMetrics(w io.Writer, st Stats, jobs []*Job) error {
 		life = append(life, telemetry.Sample{Name: "tsmod_jobs_completed_total",
 			LabelKey: "state", LabelValue: state, V: float64(n)})
 	}
+	for tn, n := range m.tenantSubmitted {
+		life = append(life, telemetry.Sample{Name: "tsmod_tenant_submitted_total",
+			LabelKey: "tenant", LabelValue: tn, V: float64(n)})
+	}
+	for tn, n := range m.tenantRejected {
+		life = append(life, telemetry.Sample{Name: "tsmod_tenant_rejected_total",
+			LabelKey: "tenant", LabelValue: tn, V: float64(n)})
+	}
+	// Snapshot the per-tenant SLO histograms under met.mu; they render
+	// after the lock drops.
+	tqw := make([]telemetry.HistogramRow, 0, len(m.tenantQueueWait))
+	for tn, h := range m.tenantQueueWait {
+		tqw = append(tqw, telemetry.HistogramRow{Labels: [][2]string{{"tenant", tn}}, Snap: h.Snapshot()})
+	}
+	tfp := make([]telemetry.HistogramRow, 0, len(m.tenantFirstPoint))
+	for tn, h := range m.tenantFirstPoint {
+		tfp = append(tfp, telemetry.HistogramRow{Labels: [][2]string{{"tenant", tn}}, Snap: h.Snapshot()})
+	}
+	sort.Slice(tqw, func(i, j int) bool { return tqw[i].Labels[0][1] < tqw[j].Labels[0][1] })
+	sort.Slice(tfp, func(i, j int) bool { return tfp[i].Labels[0][1] < tfp[j].Labels[0][1] })
 
 	// Solver counters: retired ledger + live counters of unfolded jobs.
 	agg := make(map[string]telemetry.Sample, len(m.retired))
@@ -166,6 +256,20 @@ func (m *svcMetrics) writeMetrics(w io.Writer, st Stats, jobs []*Job) error {
 	}
 	for _, h := range hists {
 		if err := telemetry.WritePromHistogram(w, h.name, h.help, h.h.Snapshot(), 1e-9); err != nil {
+			return err
+		}
+	}
+	for _, hv := range []struct {
+		name, help string
+		rows       []telemetry.HistogramRow
+	}{
+		{"tsmod_tenant_queue_wait_seconds", "Submit-to-start queue wait per job, by tenant.", tqw},
+		{"tsmod_tenant_first_point_seconds", "Submit-to-first-front-point latency per job, by tenant.", tfp},
+	} {
+		if len(hv.rows) == 0 {
+			continue
+		}
+		if err := telemetry.WritePromHistogramVec(w, hv.name, hv.help, hv.rows, 1e-9); err != nil {
 			return err
 		}
 	}

@@ -28,6 +28,7 @@ func Open(cfg Config) (*Service, error) {
 		idem:   make(map[string]string),
 		met:    newSvcMetrics(),
 		shares: newShareHub(),
+		sched:  newScheduler(),
 	}
 	var requeue []*Job
 	if cfg.DataDir != "" {
@@ -45,17 +46,18 @@ func Open(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: compacting journal: %w", err)
 		}
 	}
-	// Recovered incomplete jobs must all fit back in the queue even when
-	// there are more of them than the configured bound admits; the bound
-	// still applies to new submissions (Submit pre-checks occupancy).
-	qcap := cfg.QueueDepth
-	if len(requeue) > qcap {
-		qcap = len(requeue)
-	}
-	s.queue = make(chan *Job, qcap)
+	// Recovered incomplete jobs bypass admission control: lanes are
+	// unbounded, so they all fit back regardless of the configured queue
+	// bound or tenant quotas (those apply to new submissions only). Each
+	// re-enters its own tenant's lane, so fair-share holds across a
+	// restart. The recovering gauge holds readiness false until every
+	// requeued job has been dispatched once or turned terminal.
+	s.recovering.Store(int64(len(requeue)))
 	for _, j := range requeue {
+		j.recoveredPending = true
+		pol := cfg.Tenants.Policy(j.Spec.Tenant)
 		s.jobWG.Add(1)
-		s.queue <- j
+		s.sched.enqueue(j, pol.Weight, pol.MaxConcurrent)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)

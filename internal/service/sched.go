@@ -1,0 +1,249 @@
+package service
+
+import (
+	"sort"
+	"sync"
+)
+
+// scheduler is the weighted fair-share job queue that replaced the
+// strict-FIFO channel: one lane per tenant, dispatched by deficit round
+// robin. Each replenish round grants every eligible lane (non-empty and
+// under its concurrency cap) credits equal to its weight; dispatching
+// one job spends one credit, so over time a tenant's dispatch share
+// converges to its weight share regardless of how many jobs it floods
+// the queue with. Within a lane, higher-priority jobs dispatch first
+// and equal priorities are FIFO.
+//
+// The dispatch order is fully deterministic: lanes rotate in sorted
+// name order from a persistent cursor, and nothing here reads the
+// clock — which is what makes the fairness tests exact.
+//
+// Lock order: sched.mu is a leaf. Callers may hold s.mu or j.mu; the
+// scheduler itself never touches a Job's lock (it only reads fields
+// frozen before the job was enqueued).
+type scheduler struct {
+	mu     sync.Mutex
+	lanes  map[string]*lane
+	order  []string // lane names, sorted; the DRR rotation order
+	cursor int
+	queued int
+	// wake signals "a dispatch may now succeed" to one blocked worker;
+	// next re-signals while dispatchable work remains, so a single
+	// buffered slot serves any number of workers.
+	wake chan struct{}
+}
+
+// lane is one tenant's waiting line.
+type lane struct {
+	name    string
+	weight  int
+	maxRun  int // concurrency cap; 0 = unlimited
+	deficit int
+	jobs    []*Job // priority-descending, FIFO within a priority
+	running int
+}
+
+func (ln *lane) eligible() bool {
+	return len(ln.jobs) > 0 && (ln.maxRun == 0 || ln.running < ln.maxRun)
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{
+		lanes: make(map[string]*lane),
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// enqueue adds a job to its tenant's lane, creating the lane on first
+// use and refreshing its policy knobs (weight, concurrency cap) on
+// every call so a reloaded policy takes effect without a restart.
+func (q *scheduler) enqueue(j *Job, weight, maxRun int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	name := j.Spec.Tenant
+	q.mu.Lock()
+	ln := q.lanes[name]
+	if ln == nil {
+		ln = &lane{name: name}
+		q.lanes[name] = ln
+		q.order = append(q.order, name)
+		sort.Strings(q.order)
+	}
+	ln.weight, ln.maxRun = weight, maxRun
+	// Insert after the last job with priority >= the newcomer's: higher
+	// priority first, FIFO among equals.
+	pos := len(ln.jobs)
+	for pos > 0 && ln.jobs[pos-1].Spec.Priority < j.Spec.Priority {
+		pos--
+	}
+	ln.jobs = append(ln.jobs, nil)
+	copy(ln.jobs[pos+1:], ln.jobs[pos:])
+	ln.jobs[pos] = j
+	q.queued++
+	q.mu.Unlock()
+	q.signal()
+}
+
+// next blocks until a job is dispatchable (or stop closes, returning
+// nil). The returned job is counted against its lane's concurrency cap
+// until release is called.
+func (q *scheduler) next(stop <-chan struct{}) *Job {
+	for {
+		q.mu.Lock()
+		j := q.dispatchLocked()
+		more := q.dispatchableLocked()
+		q.mu.Unlock()
+		if j != nil {
+			if more {
+				q.signal() // other workers may have work too
+			}
+			return j
+		}
+		select {
+		case <-q.wake:
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// dispatchLocked runs one DRR step: spend existing credit walking the
+// rotation from the cursor; when no eligible lane holds credit, start a
+// new round (reset every eligible lane's deficit to its weight) and
+// walk once more. Returns nil when nothing is dispatchable — the queue
+// is empty or every backlogged lane is at its concurrency cap.
+func (q *scheduler) dispatchLocked() *Job {
+	if q.queued == 0 {
+		return nil
+	}
+	n := len(q.order)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			idx := (q.cursor + i) % n
+			ln := q.lanes[q.order[idx]]
+			if !ln.eligible() || ln.deficit < 1 {
+				continue
+			}
+			ln.deficit--
+			j := ln.jobs[0]
+			copy(ln.jobs, ln.jobs[1:])
+			ln.jobs[len(ln.jobs)-1] = nil
+			ln.jobs = ln.jobs[:len(ln.jobs)-1]
+			if len(ln.jobs) == 0 {
+				ln.deficit = 0 // an emptied lane banks no credit
+			}
+			ln.running++
+			q.queued--
+			q.cursor = (idx + 1) % n
+			return j
+		}
+		if pass == 1 {
+			break
+		}
+		any := false
+		for _, name := range q.order {
+			if ln := q.lanes[name]; ln.eligible() {
+				ln.deficit = ln.weight
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+	}
+	return nil
+}
+
+// dispatchableLocked reports whether another dispatch could succeed now.
+func (q *scheduler) dispatchableLocked() bool {
+	if q.queued == 0 {
+		return false
+	}
+	for _, ln := range q.lanes {
+		if ln.eligible() {
+			return true
+		}
+	}
+	return false
+}
+
+// release returns a lane's concurrency slot after its job finished (or
+// was skipped at begin) and wakes a worker: the freed slot may unblock
+// a capped lane.
+func (q *scheduler) release(tenant string) {
+	q.mu.Lock()
+	if ln := q.lanes[tenant]; ln != nil && ln.running > 0 {
+		ln.running--
+	}
+	q.mu.Unlock()
+	q.signal()
+}
+
+// remove excises a still-queued job (canceled before dispatch) from its
+// lane. Reports whether the job was found — false means a worker
+// already popped it.
+func (q *scheduler) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ln := q.lanes[j.Spec.Tenant]
+	if ln == nil {
+		return false
+	}
+	for i, qj := range ln.jobs {
+		if qj == j {
+			copy(ln.jobs[i:], ln.jobs[i+1:])
+			ln.jobs[len(ln.jobs)-1] = nil
+			ln.jobs = ln.jobs[:len(ln.jobs)-1]
+			if len(ln.jobs) == 0 {
+				ln.deficit = 0
+			}
+			q.queued--
+			return true
+		}
+	}
+	return false
+}
+
+func (q *scheduler) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// queuedTotal is the number of waiting jobs across all lanes.
+func (q *scheduler) queuedTotal() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// laneQueued is one tenant's waiting-job count (the MaxQueued quota).
+func (q *scheduler) laneQueued(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ln := q.lanes[tenant]; ln != nil {
+		return len(ln.jobs)
+	}
+	return 0
+}
+
+// LaneStat is one lane's occupancy snapshot, keyed by tenant in
+// Stats.Tenants (the cluster coordinator routes by it).
+type LaneStat struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Weight  int `json:"weight"`
+}
+
+// stats snapshots every lane that has ever held a job.
+func (q *scheduler) stats() map[string]LaneStat {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]LaneStat, len(q.lanes))
+	for name, ln := range q.lanes {
+		out[name] = LaneStat{Queued: len(ln.jobs), Running: ln.running, Weight: ln.weight}
+	}
+	return out
+}

@@ -23,19 +23,35 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deme"
 	"repro/internal/resultio"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
 // Submission failure modes, mapped to HTTP statuses by the handlers.
 var (
-	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	// ErrQueueFull: the global queue bound is reached (HTTP 429).
 	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrTenantQueueFull: the submitting tenant's MaxQueued quota is
+	// exhausted while the global queue still has room (HTTP 429).
+	ErrTenantQueueFull = errors.New("service: tenant queue quota exhausted")
+	// ErrRateLimited: the tenant's submission or mutation token bucket
+	// is empty (HTTP 429). Usually wrapped in a QuotaError carrying the
+	// exact Retry-After hint.
+	ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+	// ErrLoadShed: the service is shedding load after a WAL write
+	// failure (or an operator override); new work is refused, running
+	// jobs are never touched (HTTP 503).
+	ErrLoadShed = errors.New("service: shedding load, not accepting new work")
+	// ErrMutationBudget: the job's lifetime mutation budget — the hard
+	// backstop behind the mutate token bucket — is spent (HTTP 429).
+	ErrMutationBudget = errors.New("service: job mutation budget exhausted")
 	// ErrDraining: the service no longer accepts jobs (HTTP 503).
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 	// ErrNotFound: no such job id (HTTP 404).
@@ -43,6 +59,16 @@ var (
 	// ErrStorage: the durable journal rejected a write (HTTP 500).
 	ErrStorage = errors.New("service: durable storage failure")
 )
+
+// QuotaError wraps an admission refusal with the precise backoff its
+// token bucket computed; the HTTP layer renders it as Retry-After.
+type QuotaError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *QuotaError) Error() string { return e.Err.Error() }
+func (e *QuotaError) Unwrap() error { return e.Err }
 
 // Config parameterizes a Service. The zero value is usable: every field
 // has a default applied by New.
@@ -97,6 +123,10 @@ type Config struct {
 	// OTLP/HTTP endpoint (e.g. http://collector:4318/v1/traces). Export
 	// failures are logged, never fatal.
 	TraceCollector string
+	// Tenants resolves API keys to tenants and enforces their quotas
+	// and rate limits. nil gets a registry holding only the unlimited
+	// anonymous tenant — the single-tenant behavior of older daemons.
+	Tenants *tenant.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -124,6 +154,9 @@ func (c *Config) applyDefaults() {
 	if c.DataDir != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = DefaultCheckpointEvery
 	}
+	if c.Tenants == nil {
+		c.Tenants = tenant.NewRegistry(nil)
+	}
 }
 
 // DefaultCheckpointEvery is the snapshot interval durable services use
@@ -139,11 +172,17 @@ const DefaultCheckpointEvery = 500
 // stop with Drain (graceful) or Close (abort).
 type Service struct {
 	cfg      Config
-	queue    chan *Job
+	sched    *scheduler
 	stop     chan struct{}
 	stopOnce sync.Once
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup
+
+	// recovering counts requeued recovery jobs a worker has not yet
+	// picked up; readiness stays false until it drains to zero. Atomic
+	// because the last decrement may happen under j.mu (a recovered job
+	// canceled while queued), where s.mu must not be taken.
+	recovering atomic.Int64
 
 	// jl is the write-ahead job journal, nil for in-memory services;
 	// torn counts unreadable records dropped while replaying it.
@@ -167,6 +206,11 @@ type Service struct {
 	busy      int
 	recovered int
 	requeued  int
+	// Load-shed state: shedUntil is armed by WAL write failures (the
+	// disk gets one RetryAfter window of quiet before the next
+	// submission probes it again); shedManual is the operator override.
+	shedUntil  time.Time
+	shedManual bool
 }
 
 // New starts an in-memory Service with cfg's worker pool. For a durable
@@ -181,17 +225,30 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Submit validates and enqueues a job. Validation failures return the
-// underlying error (HTTP 400); a full queue returns ErrQueueFull and a
-// draining service ErrDraining. A spec carrying an idempotency key the
-// service has already accepted returns the original job unchanged, so
-// clients retry submissions safely.
+// Submit validates and enqueues a job for the anonymous tenant — the
+// single-tenant API of older embedders. See SubmitAs.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitAs(tenant.Anonymous, spec)
+}
+
+// SubmitAs validates and enqueues a job on behalf of a tenant.
+// Validation failures return the underlying error (HTTP 400); quota
+// refusals return ErrQueueFull, ErrTenantQueueFull or ErrRateLimited
+// (HTTP 429, the latter wrapped in a QuotaError carrying the bucket's
+// Retry-After), and an unavailable service ErrDraining or ErrLoadShed
+// (HTTP 503). A spec carrying an idempotency key the service has
+// already accepted returns the original job unchanged, so clients retry
+// submissions safely — idempotent replays consume no rate tokens.
+func (s *Service) SubmitAs(tn string, spec JobSpec) (*Job, error) {
+	pol := s.cfg.Tenants.Policy(tn)
+	spec.Tenant = tn
+	spec.Priority = pol.ClampPriority(spec.Priority)
 	j, err := newJob(spec, &s.cfg)
 	if err != nil {
 		s.met.reject("invalid")
 		return nil, err
 	}
+	spec = j.Spec // newJob normalizes the spec copy it retains
 	j.svc = s
 
 	s.mu.Lock()
@@ -208,31 +265,51 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 			return dup, nil
 		}
 	}
-	// Capacity pre-check: every queue send happens under s.mu (here and in
-	// Open's re-queue, before workers start), and workers only remove, so
-	// occupancy seen here can only shrink before the send below — which
-	// therefore cannot block. Checking before journaling means a rejected
-	// submission leaves no journal record behind.
-	if len(s.queue) == cap(s.queue) {
+	if s.sheddingLocked() {
 		s.mu.Unlock()
 		j.cancel()
-		s.met.reject("queue_full")
+		s.met.rejectTenant(tn, "load_shed")
+		return nil, &QuotaError{Err: ErrLoadShed, After: s.cfg.RetryAfter}
+	}
+	if ok, retry := s.cfg.Tenants.TakeSubmit(tn); !ok {
+		s.mu.Unlock()
+		j.cancel()
+		s.met.rejectTenant(tn, "rate_limited")
+		return nil, &QuotaError{Err: ErrRateLimited, After: retry}
+	}
+	// Quota checks run before journaling, so a rejected submission
+	// leaves no journal record behind. The global bound caps total
+	// backlog; the per-tenant bound isolates co-tenants from a flood
+	// long before the global bound is felt.
+	if s.sched.queuedTotal() >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		j.cancel()
+		s.met.rejectTenant(tn, "queue_full")
 		return nil, ErrQueueFull
+	}
+	if pol.MaxQueued > 0 && s.sched.laneQueued(tn) >= pol.MaxQueued {
+		s.mu.Unlock()
+		j.cancel()
+		s.met.rejectTenant(tn, "tenant_queue_full")
+		return nil, ErrTenantQueueFull
 	}
 	s.nextID++
 	j.ID = fmt.Sprintf("j%06d", s.nextID)
 	j.submitted = time.Now()
 	if s.jl != nil {
 		// Write-ahead: the job exists once its submit record is durable;
-		// only then is it acknowledged or runnable.
+		// only then is it acknowledged or runnable. A failed write arms
+		// load-shed mode: the disk gets one RetryAfter window of quiet,
+		// then the next submission probes it again.
 		err := os.MkdirAll(s.jobDir(j.ID), 0o755)
 		if err == nil {
 			err = s.jl.append(journalRecord{Type: "submit", Job: j.ID, Spec: &spec})
 		}
 		if err != nil {
+			s.shedUntil = time.Now().Add(s.cfg.RetryAfter)
 			s.mu.Unlock()
 			j.cancel()
-			s.met.reject("storage")
+			s.met.rejectTenant(tn, "storage")
 			return nil, fmt.Errorf("%w: %v", ErrStorage, err)
 		}
 	}
@@ -247,7 +324,8 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	// and jobWG.Add — otherwise a fast job could observe half-built state
 	// or call jobWG.Done before the Add.
 	j.mu.Lock()
-	j.appendEventLocked("queued", map[string]any{"job": j.ID, "instance": j.instName, "algorithm": j.alg.String()})
+	j.appendEventLocked("queued", map[string]any{"job": j.ID, "instance": j.instName,
+		"algorithm": j.alg.String(), "tenant": tn, "lane": tn})
 	j.mu.Unlock()
 	s.jobWG.Add(1)
 	s.jobs[j.ID] = j
@@ -255,55 +333,124 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if key := spec.IdempotencyKey; key != "" {
 		s.idem[key] = j.ID
 	}
-	s.queue <- j
+	s.sched.enqueue(j, pol.Weight, pol.MaxConcurrent)
 	s.evictLocked()
 	s.mu.Unlock()
-	s.met.submit()
+	s.met.submitTenant(tn)
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Info("job queued", "job", j.ID, "instance", j.instName,
+		s.cfg.Logger.Info("job queued", "job", j.ID, "instance", j.instName, "tenant", tn,
 			"algorithm", j.alg.String(), "processors", j.cfg.Processors, "backend", j.backend)
 	}
 	return j, nil
 }
 
-// evictLocked drops the oldest terminal jobs beyond the retention cap.
-// Queued and running jobs are never evicted.
+// sheddingLocked reports whether the service is in load-shed mode.
+// Callers hold s.mu.
+func (s *Service) sheddingLocked() bool {
+	return s.shedManual || time.Now().Before(s.shedUntil)
+}
+
+// shedding is sheddingLocked for callers not holding s.mu.
+func (s *Service) shedding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sheddingLocked()
+}
+
+// SetShed toggles the operator load-shed override: while on, new
+// submissions and mutations are refused with 503 + Retry-After, running
+// jobs are untouched, and readiness reports false.
+func (s *Service) SetShed(on bool) {
+	s.mu.Lock()
+	s.shedManual = on
+	s.mu.Unlock()
+}
+
+// armShed enters load-shed mode for one RetryAfter window after a WAL
+// write failure observed off the submission path (a mutation commit,
+// say). The next submission after the window probes the disk again.
+func (s *Service) armShed() {
+	s.mu.Lock()
+	s.shedUntil = time.Now().Add(s.cfg.RetryAfter)
+	s.mu.Unlock()
+}
+
+// Ready reports whether the service should receive new work, with the
+// reasons when it should not — the GET /v1/readyz split from liveness:
+// a draining, recovering, or load-shedding daemon is alive (healthz
+// still answers) but not ready.
+func (s *Service) Ready() (bool, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var reasons []string
+	if s.draining {
+		reasons = append(reasons, "draining")
+	}
+	if s.recovering.Load() > 0 {
+		reasons = append(reasons, "recovering")
+	}
+	if s.sheddingLocked() {
+		reasons = append(reasons, "load_shed")
+	}
+	return len(reasons) == 0, reasons
+}
+
+// evictLocked drops terminal jobs beyond the retention cap, per-tenant
+// oldest-first: each eviction comes from the tenant retaining the most
+// terminal jobs (ties to the lexicographically smaller name), so one
+// tenant's churn can never flush a co-tenant's results out of the
+// retention window. Queued and running jobs are never evicted.
 func (s *Service) evictLocked() {
 	terminal := 0
+	perTenant := make(map[string]int)
 	for _, id := range s.order {
-		if s.jobs[id].State().Terminal() {
+		j := s.jobs[id]
+		if j.State().Terminal() {
 			terminal++
+			perTenant[j.Spec.Tenant]++
 		}
 	}
-	if terminal <= s.cfg.RetainJobs {
-		return
-	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		if terminal > s.cfg.RetainJobs && s.jobs[id].State().Terminal() {
+	for terminal > s.cfg.RetainJobs {
+		victim := ""
+		for tn, n := range perTenant {
+			if victim == "" || n > perTenant[victim] || (n == perTenant[victim] && tn < victim) {
+				victim = tn
+			}
+		}
+		for i, id := range s.order {
 			j := s.jobs[id]
-			delete(s.jobs, id)
-			if key := j.Spec.IdempotencyKey; key != "" && s.idem[key] == id {
-				delete(s.idem, key)
+			if j.Spec.Tenant != victim || !j.State().Terminal() {
+				continue
 			}
-			if s.jl != nil {
-				if err := s.jl.append(journalRecord{Type: "evict", Job: id}); err != nil {
-					s.logWarn("journal: evict record", "job", id, "error", err)
-				}
-				if err := os.RemoveAll(s.jobDir(id)); err != nil {
-					s.logWarn("evict: removing job dir", "job", id, "error", err)
-				}
-			}
-			if j.Spec.ShareGroup != "" {
-				s.shares.drop(j.Spec.ShareGroup, j.Spec.ShareShard)
-			}
-			s.met.forget(id)
-			terminal--
-			continue
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.dropJobLocked(id, j)
+			break
 		}
-		kept = append(kept, id)
+		perTenant[victim]--
+		terminal--
 	}
-	s.order = kept
+}
+
+// dropJobLocked forgets one evicted terminal job: maps, idempotency
+// key, journal evict record, on-disk artifacts, share feed, metrics
+// marker. Callers hold s.mu and have already removed id from s.order.
+func (s *Service) dropJobLocked(id string, j *Job) {
+	delete(s.jobs, id)
+	if key := j.Spec.IdempotencyKey; key != "" && s.idem[key] == id {
+		delete(s.idem, key)
+	}
+	if s.jl != nil {
+		if err := s.jl.append(journalRecord{Type: "evict", Job: id}); err != nil {
+			s.logWarn("journal: evict record", "job", id, "error", err)
+		}
+		if err := os.RemoveAll(s.jobDir(id)); err != nil {
+			s.logWarn("evict: removing job dir", "job", id, "error", err)
+		}
+	}
+	if j.Spec.ShareGroup != "" {
+		s.shares.drop(j.Spec.ShareGroup, j.Spec.ShareShard)
+	}
+	s.met.forget(id)
 }
 
 // Job looks a job up by id.
@@ -348,21 +495,31 @@ func (s *Service) jobDone() {
 func (s *Service) worker() {
 	defer s.workerWG.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.runJob(j)
-		case <-s.stop:
+		j := s.sched.next(s.stop)
+		if j == nil {
 			return
 		}
+		s.runJob(j)
+		// Return the lane's concurrency slot — a capped co-lane job may
+		// now be dispatchable.
+		s.sched.release(j.Spec.Tenant)
 	}
 }
 
 // runJob executes one job on the calling worker. Jobs canceled while
-// queued are skipped (begin refuses them). The search runs under the
-// job's context, bounded by the wall deadline when one is set, on a fresh
-// backend instance — a deterministic simulator per job, so equal
-// (instance, seed, config) submissions yield bit-identical archives.
+// queued are skipped (begin refuses them); jobs whose client deadline
+// already passed are shed as failed without running. The search runs
+// under the job's context, bounded by the wall deadline and the
+// remaining client deadline, on a fresh backend instance — a
+// deterministic simulator per job, so equal (instance, seed, config)
+// submissions yield bit-identical archives.
 func (s *Service) runJob(j *Job) {
+	j.recoveredDispatched()
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		s.met.rejectTenant(j.Spec.Tenant, "deadline")
+		j.finish(nil, fmt.Errorf("deadline exceeded after %.1fs in queue; job shed unstarted", j.Spec.DeadlineSeconds))
+		return
+	}
 	if !j.begin() {
 		return
 	}
@@ -400,6 +557,14 @@ func (s *Service) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, j.wall)
 	}
 	defer cancel()
+	if !j.deadline.IsZero() {
+		// Deadline propagation: the client's submit-time deadline bounds
+		// the searcher context, stopping the run (keeping its partial
+		// front) within one iteration of expiry.
+		dctx, dcancel := context.WithDeadline(ctx, j.deadline)
+		defer dcancel()
+		ctx = dctx
+	}
 
 	var rt deme.Runtime
 	if j.backend == "goroutine" {
@@ -598,19 +763,28 @@ type Stats struct {
 	Workers int    `json:"workers"`
 	// Busy is the number of workers currently running a job.
 	Busy int `json:"busy"`
-	// QueueLen and QueueCap describe the waiting line feeding the pool.
+	// QueueLen is the waiting-job total across tenant lanes; QueueCap
+	// the global admission bound (per-tenant quotas may bind sooner).
 	QueueLen int `json:"queue_len"`
 	QueueCap int `json:"queue_cap"`
 	// Jobs counts retained jobs by state.
 	Jobs map[State]int `json:"jobs"`
+	// Tenants is the per-lane occupancy: queued and running jobs plus
+	// the fair-share weight, keyed by tenant. The cluster coordinator
+	// folds these into its tenant-aware routing.
+	Tenants map[string]LaneStat `json:"tenants,omitempty"`
+	// Shedding reports active load-shed mode (readiness is false).
+	Shedding bool `json:"shedding,omitempty"`
 	// Durable reports whether the service journals to a data directory.
 	Durable bool `json:"durable,omitempty"`
 	// Recovered and Requeued count jobs brought back by the last
 	// recovery: terminal jobs re-served from disk, and incomplete jobs
-	// put back on the queue. TornRecords counts journal records dropped
-	// as unreadable during that replay.
+	// put back on the queue. Recovering counts requeued jobs no worker
+	// has picked up yet (readiness is false until zero). TornRecords
+	// counts journal records dropped as unreadable during that replay.
 	Recovered   int `json:"recovered,omitempty"`
 	Requeued    int `json:"requeued,omitempty"`
+	Recovering  int `json:"recovering,omitempty"`
 	TornRecords int `json:"torn_records,omitempty"`
 }
 
@@ -623,12 +797,15 @@ func (s *Service) Stats() Stats {
 		Version:     s.cfg.Version,
 		Workers:     s.cfg.Workers,
 		Busy:        s.busy,
-		QueueLen:    len(s.queue),
-		QueueCap:    cap(s.queue),
+		QueueLen:    s.sched.queuedTotal(),
+		QueueCap:    s.cfg.QueueDepth,
 		Jobs:        make(map[State]int),
+		Tenants:     s.sched.stats(),
+		Shedding:    s.sheddingLocked(),
 		Durable:     s.jl != nil,
 		Recovered:   s.recovered,
 		Requeued:    s.requeued,
+		Recovering:  int(s.recovering.Load()),
 		TornRecords: s.torn,
 	}
 	if s.draining {

@@ -1,0 +1,587 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/resultio"
+	"repro/internal/tenant"
+)
+
+// vclock is the virtual clock the admission tests drive token buckets
+// with: time moves only when the test says so, making every rate-limit
+// verdict and Retry-After hint exact.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVclock() *vclock { return &vclock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// postJobAs submits a job with a tenant bearer token ("" = anonymous).
+func postJobAs(t *testing.T, base, token string, spec JobSpec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// patchInstanceAs is patchInstance with a tenant bearer token.
+func patchInstanceAs(t *testing.T, base, token, id string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, base+"/v1/jobs/"+id+"/instance", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestE2EFairShare50To1 is the fairness acceptance test: tenant acme
+// (weight 3) floods 150 submissions against beta's 3 (a 50:1 ratio)
+// into a single-worker pool. Deficit round robin must keep the
+// completed-job split at the 3:1 weight ratio — measured over the first
+// 12 completions, while both lanes are backlogged — and beta must
+// finish every job it submitted despite the flood. The scheduler reads
+// no clock, so the dispatch order is exact, not statistical.
+func TestE2EFairShare50To1(t *testing.T) {
+	reg := tenant.NewRegistry(newVclock().Now)
+	reg.Add(tenant.Policy{Name: "acme", Weight: 3}, "k-acme")
+	reg.Add(tenant.Policy{Name: "beta", Weight: 1}, "k-beta")
+	_, srv := e2eServer(t, Config{
+		Workers: 1, QueueDepth: 300, RetainJobs: 300, MaxEvaluations: -1, Tenants: reg,
+	})
+	base := srv.URL
+	release := blockWorker(t, base)
+
+	spec := JobSpec{
+		Instance:       InstanceSpec{Class: "R1", N: 25, Seed: 3},
+		MaxEvaluations: 600,
+		Seed:           7,
+	}
+	submit := func(token string, n int) {
+		for i := 0; i < n; i++ {
+			resp := postJobAs(t, base, token, spec)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("%s submission %d: %s", token, i, resp.Status)
+			}
+			resp.Body.Close()
+		}
+	}
+	submit("k-beta", 3)
+	submit("k-acme", 150)
+	release()
+
+	// Wait until at least 12 tenant jobs are terminal, then measure the
+	// completed split over the earliest 12 finishers.
+	type doneJob struct {
+		tenant string
+		at     time.Time
+	}
+	type jobList struct {
+		Jobs []Status `json:"jobs"`
+	}
+	var done []doneJob
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		lst := decodeBody[jobList](t, mustGet(t, base+"/v1/jobs"))
+		done = done[:0]
+		for _, st := range lst.Jobs {
+			if st.State == StateDone && st.Tenant != tenant.Anonymous && st.FinishedAt != nil {
+				done = append(done, doneJob{st.Tenant, *st.FinishedAt})
+			}
+		}
+		if len(done) >= 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d tenant jobs finished", len(done))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].at.Before(done[j].at) })
+	counts := map[string]int{}
+	for _, d := range done[:12] {
+		counts[d.tenant]++
+	}
+	// Exact DRR contract: 3 acme + 1 beta per round, 12 completions = 3
+	// full rounds.
+	if counts["acme"] != 9 || counts["beta"] != 3 {
+		t.Fatalf("first 12 completions split acme=%d beta=%d, want 9/3", counts["acme"], counts["beta"])
+	}
+	// The acceptance criterion as stated: completed share within 10% of
+	// the configured weight share (acme 75%, beta 25%).
+	for name, weight := range map[string]float64{"acme": 3, "beta": 1} {
+		share := float64(counts[name]) / 12
+		want := weight / 4
+		if diff := share - want; diff < -0.10 || diff > 0.10 {
+			t.Errorf("tenant %s completed share %.2f, want %.2f +/- 0.10", name, share, want)
+		}
+	}
+	// The flooded-out tenant still finished everything it submitted.
+	betaDone := 0
+	for _, d := range done {
+		if d.tenant == "beta" {
+			betaDone++
+		}
+	}
+	if betaDone != 3 {
+		t.Errorf("beta finished %d of its 3 jobs", betaDone)
+	}
+}
+
+// TestE2ESubmitRateLimitDeterminism drives the submission token bucket
+// on a virtual clock: burst 2 admits exactly two jobs, the third is
+// refused with 429 and the precise Retry-After, and advancing the clock
+// by exactly one refill interval admits one more. No sleeps, no jitter.
+func TestE2ESubmitRateLimitDeterminism(t *testing.T) {
+	ck := newVclock()
+	reg := tenant.NewRegistry(ck.Now)
+	reg.Add(tenant.Policy{Name: "acme", SubmitRate: 1, SubmitBurst: 2}, "k-acme")
+	_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1, Tenants: reg})
+	base := srv.URL
+
+	for i := 0; i < 2; i++ {
+		resp := postJobAs(t, base, "k-acme", smallSpec())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submission %d: %s", i, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	resp := postJobAs(t, base, "k-acme", smallSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst submission: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After %q, want \"1\" (empty bucket at rate 1/s)", ra)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "rate limit") {
+		t.Errorf("429 body does not name the rate limit: %s", body)
+	}
+
+	// The verdict is stable while the clock is frozen...
+	resp = postJobAs(t, base, "k-acme", smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("repeat over-burst submission: %s, want 429", resp.Status)
+	}
+	// ...and one refill interval buys exactly one token.
+	ck.Advance(time.Second)
+	resp = postJobAs(t, base, "k-acme", smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-refill submission: %s, want 202", resp.Status)
+	}
+	resp = postJobAs(t, base, "k-acme", smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second post-refill submission: %s, want 429 (one token, not two)", resp.Status)
+	}
+
+	// Anonymous submissions are not rate limited — the back-compat path.
+	resp = postJobAs(t, base, "", smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous submission under acme's limit: %s, want 202", resp.Status)
+	}
+}
+
+// TestE2EAuthRejectionTable pins the credential-resolution contract:
+// every way of presenting (or mangling) a key, against both a write and
+// a read endpoint.
+func TestE2EAuthRejectionTable(t *testing.T) {
+	reg := tenant.NewRegistry(nil)
+	reg.Add(tenant.Policy{Name: "acme"}, "k-acme")
+	_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1, Tenants: reg})
+	base := srv.URL
+
+	cases := []struct {
+		name       string
+		header     string
+		wantStatus int
+		wantTenant string
+	}{
+		{"no credentials", "", http.StatusAccepted, "anonymous"},
+		{"bearer key", "Bearer k-acme", http.StatusAccepted, "acme"},
+		{"case-insensitive scheme", "bEaReR k-acme", http.StatusAccepted, "acme"},
+		{"bare token", "k-acme", http.StatusAccepted, "acme"},
+		{"padded token", "Bearer   k-acme  ", http.StatusAccepted, "acme"},
+		{"unknown key", "Bearer nope", http.StatusUnauthorized, ""},
+		{"unknown bare token", "nope", http.StatusUnauthorized, ""},
+		{"empty bearer", "Bearer  ", http.StatusUnauthorized, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, _ := json.Marshal(smallSpec())
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if tc.header != "" {
+				req.Header.Set("Authorization", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("submit with %q: %s, want %d", tc.header, resp.Status, tc.wantStatus)
+			}
+			if tc.wantStatus != http.StatusAccepted {
+				resp.Body.Close()
+				// Reads are gated by the same middleware.
+				greq, _ := http.NewRequest(http.MethodGet, base+"/v1/jobs", nil)
+				greq.Header.Set("Authorization", tc.header)
+				gresp, err := http.DefaultClient.Do(greq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gresp.Body.Close()
+				if gresp.StatusCode != http.StatusUnauthorized {
+					t.Errorf("list with %q: %s, want 401", tc.header, gresp.Status)
+				}
+				return
+			}
+			sub := decodeBody[SubmitResponse](t, resp)
+			if st := getStatus(t, base, sub.ID); st.Tenant != tc.wantTenant {
+				t.Errorf("job tenant %q, want %q", st.Tenant, tc.wantTenant)
+			}
+		})
+	}
+}
+
+// TestE2EMutationStormChaos is the mutation-storm acceptance test: a
+// flooding tenant hammers PATCH /instance past its token bucket and
+// collects 429s, while a co-tenant's dynamic job accepts its one batch,
+// applies it on schedule, and produces a front bit-identical to an
+// isolated reference run — the storm never touches a barrier it wasn't
+// admitted to.
+func TestE2EMutationStormChaos(t *testing.T) {
+	spec := smallSpec()
+	spec.MaxEvaluations = 60_000
+	batch := MutateRequest{
+		Epoch: 2,
+		Mutations: []dynamic.Mutation{
+			cancelMut(5),
+			{Version: dynamic.Version, Op: dynamic.UpdateDemand, Customer: 3, Demand: 5},
+		},
+	}
+
+	// Isolated reference: the same spec and batch on a quiet service.
+	ref := func() *resultio.FrontFile {
+		_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1, CheckpointEvery: 3})
+		base := srv.URL
+		release := blockWorker(t, base)
+		resp := postJob(t, base, spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("reference submit: %s", resp.Status)
+		}
+		id := decodeBody[SubmitResponse](t, resp).ID
+		resp = patchInstance(t, base, id, batch)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference PATCH: %s", resp.Status)
+		}
+		release()
+		waitHTTPState(t, base, id, StateDone)
+		ff := decodeBody[resultio.FrontFile](t, mustGet(t, base+"/v1/jobs/"+id+"/result"))
+		return &ff
+	}()
+
+	// Storm run: tenant flood's mutate bucket holds 2 tokens and never
+	// refills (frozen clock); tenant calm is unlimited.
+	ck := newVclock()
+	reg := tenant.NewRegistry(ck.Now)
+	reg.Add(tenant.Policy{Name: "calm"}, "k-calm")
+	reg.Add(tenant.Policy{Name: "flood", MutateRate: 1, MutateBurst: 2}, "k-flood")
+	_, srv := e2eServer(t, Config{
+		Workers: 1, QueueDepth: 8, MaxEvaluations: -1, CheckpointEvery: 3, Tenants: reg,
+	})
+	base := srv.URL
+	release := blockWorker(t, base)
+
+	resp := postJobAs(t, base, "k-calm", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("calm submit: %s", resp.Status)
+	}
+	calmID := decodeBody[SubmitResponse](t, resp).ID
+	resp = postJobAs(t, base, "k-flood", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("flood submit: %s", resp.Status)
+	}
+	floodID := decodeBody[SubmitResponse](t, resp).ID
+
+	// The calm tenant's batch is admitted.
+	resp = patchInstanceAs(t, base, "k-calm", calmID, batch)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("calm PATCH: %s", resp.Status)
+	}
+
+	// The storm: burst 2 admits two batches, every one after that is
+	// shed with 429 + Retry-After before touching the journal or a
+	// barrier. The frozen clock makes the split exact.
+	var shed int
+	for i := 0; i < 8; i++ {
+		storm := MutateRequest{Mutations: []dynamic.Mutation{cancelMut(7 + i)}}
+		resp := patchInstanceAs(t, base, "k-flood", floodID, storm)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case i < 2 && resp.StatusCode != http.StatusOK:
+			t.Fatalf("flood PATCH %d (within burst): %s (%s)", i, resp.Status, body)
+		case i >= 2 && resp.StatusCode != http.StatusTooManyRequests:
+			t.Fatalf("flood PATCH %d (over burst): %s, want 429 (%s)", i, resp.Status, body)
+		case i >= 2:
+			shed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Errorf("flood 429 %d missing Retry-After", i)
+			}
+			if !strings.Contains(string(body), "rate limit") {
+				t.Errorf("flood 429 %d does not name the rate limit: %s", i, body)
+			}
+		}
+	}
+	if shed != 6 {
+		t.Fatalf("storm shed %d batches, want 6", shed)
+	}
+
+	release()
+	waitHTTPState(t, base, calmID, StateDone)
+
+	// The co-tenant applied its batch on schedule...
+	st := getStatus(t, base, calmID)
+	if st.MutationEpochs != 1 || st.MutationsApplied != 2 {
+		t.Fatalf("calm mutation epochs=%d applied=%d, want 1/2", st.MutationEpochs, st.MutationsApplied)
+	}
+	// ...and its front is bit-identical to the isolated reference.
+	got := decodeBody[resultio.FrontFile](t, mustGet(t, base+"/v1/jobs/"+calmID+"/result"))
+	if got.Evaluations != ref.Evaluations {
+		t.Errorf("evaluations: storm %d, reference %d", got.Evaluations, ref.Evaluations)
+	}
+	if !reflect.DeepEqual(got.Solutions, ref.Solutions) {
+		t.Error("co-tenant front diverged from the isolated reference under the mutation storm")
+	}
+
+	// The per-tenant series document the storm.
+	mresp := mustGet(t, base+"/metrics")
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`tsmod_tenant_submitted_total{tenant="calm"} 1`,
+		`tsmod_tenant_submitted_total{tenant="flood"} 1`,
+		`tsmod_tenant_rejected_total{tenant="flood"} 6`,
+		`tsmod_tenant_queue_wait_seconds_bucket{tenant="calm"`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestE2EReadyzAndShed covers the liveness/readiness split: /v1/healthz
+// stays 200 through a shed window (the process is alive) while
+// /v1/readyz flips to 503 with the reason, submissions bounce with 503
+// + Retry-After, running jobs are untouched, and clearing the shed
+// restores readiness.
+func TestE2EReadyzAndShed(t *testing.T) {
+	svc, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1})
+	base := srv.URL
+	release := blockWorker(t, base)
+	defer release()
+
+	ready := decodeBody[ReadyResponse](t, mustGet(t, base+"/v1/readyz"))
+	if !ready.Ready || len(ready.Reasons) != 0 {
+		t.Fatalf("fresh service not ready: %+v", ready)
+	}
+
+	svc.SetShed(true)
+	resp := mustGet(t, base+"/v1/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while shedding: %s, want 200 (liveness is not readiness)", resp.Status)
+	}
+	resp = mustGet(t, base+"/v1/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while shedding: %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("not-ready readyz missing Retry-After")
+	}
+	ready = decodeBody[ReadyResponse](t, resp)
+	if ready.Ready || len(ready.Reasons) != 1 || ready.Reasons[0] != "load_shed" {
+		t.Fatalf("shedding readyz: %+v, want reasons [load_shed]", ready)
+	}
+	// The kubelet-style alias serves the same verdict.
+	resp = mustGet(t, base+"/readyz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz alias while shedding: %s, want 503", resp.Status)
+	}
+
+	// New work bounces; the running job is untouched.
+	resp = postJob(t, base, smallSpec())
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while shedding: %s, want 503", resp.Status)
+	}
+	if !strings.Contains(string(body), "shedding") {
+		t.Errorf("shed refusal does not say so: %s", body)
+	}
+
+	svc.SetShed(false)
+	ready = decodeBody[ReadyResponse](t, mustGet(t, base+"/v1/readyz"))
+	if !ready.Ready {
+		t.Fatalf("readyz after clearing shed: %+v", ready)
+	}
+	resp = postJob(t, base, smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after clearing shed: %s, want 202", resp.Status)
+	}
+}
+
+// TestE2EDeadlineShed: a queued job whose client deadline expires
+// before a worker reaches it is shed unstarted — failed with an error
+// naming the deadline — instead of burning a worker on a result the
+// client stopped waiting for.
+func TestE2EDeadlineShed(t *testing.T) {
+	_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1})
+	base := srv.URL
+	release := blockWorker(t, base)
+
+	spec := smallSpec()
+	spec.DeadlineSeconds = 0.05
+	resp := postJob(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	id := decodeBody[SubmitResponse](t, resp).ID
+
+	time.Sleep(100 * time.Millisecond) // let the deadline lapse while queued
+	release()
+	st := waitHTTPState(t, base, id, StateFailed)
+	if !strings.Contains(st.Error, "shed unstarted") {
+		t.Errorf("deadline shed error: %q", st.Error)
+	}
+}
+
+// TestE2ETenantsEndpoint: /v1/tenants reports every configured tenant
+// with its policy, lane occupancy and counters.
+func TestE2ETenantsEndpoint(t *testing.T) {
+	reg := tenant.NewRegistry(nil)
+	reg.Add(tenant.Policy{Name: "acme", Weight: 3, MaxQueued: 5}, "k-acme")
+	_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 8, MaxEvaluations: -1, Tenants: reg})
+	base := srv.URL
+	release := blockWorker(t, base)
+	defer release()
+
+	resp := postJobAs(t, base, "k-acme", smallSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	rep := decodeBody[struct {
+		Tenants map[string]TenantStatus `json:"tenants"`
+	}](t, mustGet(t, base+"/v1/tenants"))
+	acme, ok := rep.Tenants["acme"]
+	if !ok {
+		t.Fatalf("tenants report missing acme: %v", rep.Tenants)
+	}
+	if acme.Policy.Weight != 3 || acme.Policy.MaxQueued != 5 {
+		t.Errorf("acme policy %+v, want weight 3, max_queued 5", acme.Policy)
+	}
+	if acme.Submitted != 1 || acme.Lane.Queued != 1 {
+		t.Errorf("acme submitted=%d queued=%d, want 1/1", acme.Submitted, acme.Lane.Queued)
+	}
+	if _, ok := rep.Tenants[tenant.Anonymous]; !ok {
+		t.Error("tenants report missing the anonymous tenant")
+	}
+}
+
+// TestE2ETenantQuotas: MaxQueued rejects the overflow submission with
+// 429 while other tenants still have room, and MaxConcurrent holds a
+// tenant's second job queued while a free worker serves other lanes.
+func TestE2ETenantQuotas(t *testing.T) {
+	reg := tenant.NewRegistry(nil)
+	reg.Add(tenant.Policy{Name: "boxed", MaxQueued: 2}, "k-boxed")
+	reg.Add(tenant.Policy{Name: "roomy"}, "k-roomy")
+	_, srv := e2eServer(t, Config{Workers: 1, QueueDepth: 16, MaxEvaluations: -1, Tenants: reg})
+	base := srv.URL
+	release := blockWorker(t, base)
+	defer release()
+
+	for i := 0; i < 2; i++ {
+		resp := postJobAs(t, base, "k-boxed", smallSpec())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("boxed submission %d: %s", i, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	resp := postJobAs(t, base, "k-boxed", smallSpec())
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("boxed overflow: %s, want 429", resp.Status)
+	}
+	if !strings.Contains(string(body), "tenant queue quota") {
+		t.Errorf("overflow error does not name the tenant quota: %s", body)
+	}
+	// The global queue still has room for everyone else.
+	resp = postJobAs(t, base, "k-roomy", smallSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("roomy submission beside a full boxed lane: %s, want 202", resp.Status)
+	}
+}

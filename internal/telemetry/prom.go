@@ -229,6 +229,97 @@ func WritePromGauge(w io.Writer, name, help string, labels [][2]string, v float6
 	return err
 }
 
+// GaugeRow is one series of a multi-series gauge family: a full label
+// set (rendered in the given order) and the current value.
+type GaugeRow struct {
+	Labels [][2]string
+	V      float64
+}
+
+func renderLabels(labels [][2]string) string {
+	var lb strings.Builder
+	for i, kv := range labels {
+		if i == 0 {
+			lb.WriteByte('{')
+		} else {
+			lb.WriteByte(',')
+		}
+		lb.WriteString(kv[0])
+		lb.WriteString(`="`)
+		lb.WriteString(escapeLabel(kv[1]))
+		lb.WriteByte('"')
+	}
+	if lb.Len() > 0 {
+		lb.WriteByte('}')
+	}
+	return lb.String()
+}
+
+// WritePromGaugeVec renders a gauge family with one sample per row under
+// a single HELP/TYPE header. Callers must pass rows pre-sorted (and with
+// distinct label sets) so the exposition stays stable and duplicate-free.
+func WritePromGaugeVec(w io.Writer, name, help string, rows []GaugeRow) error {
+	if err := writePromHeader(w, name, help, "gauge"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(r.Labels), formatFloat(r.V)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramRow is one series of a multi-series histogram family: the
+// identifying label set (le excluded — it is appended per bucket) and
+// the snapshot to render.
+type HistogramRow struct {
+	Labels [][2]string
+	Snap   HistogramSnapshot
+}
+
+// WritePromHistogramVec renders a histogram family with one header and a
+// full bucket/sum/count group per row. Rows must be pre-sorted by label
+// set; within each row buckets render in increasing le order, so linters
+// that group buckets by their non-le labels see each series monotone.
+func WritePromHistogramVec(w io.Writer, name, help string, rows []HistogramRow, scale float64) error {
+	if err := writePromHeader(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeHistogramSeries(w, name, r.Labels, r.Snap, scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramSeries renders one label-set's cumulative buckets, sum,
+// and count (no family header).
+func writeHistogramSeries(w io.Writer, name string, labels [][2]string, snap HistogramSnapshot, scale float64) error {
+	var cum int64
+	for _, b := range snap.Buckets {
+		if b.Upper == math.MaxInt64 {
+			continue // folded into +Inf below
+		}
+		cum += b.Count
+		le := strconv.FormatFloat(float64(b.Upper)*scale, 'g', -1, 64)
+		bl := append(append([][2]string(nil), labels...), [2]string{"le", le})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(bl), cum); err != nil {
+			return err
+		}
+	}
+	il := append(append([][2]string(nil), labels...), [2]string{"le", "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(il), snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), formatFloat(float64(snap.Sum)*scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), snap.Count)
+	return err
+}
+
 // WritePromHistogram renders a HistogramSnapshot as a Prometheus
 // histogram family: cumulative _bucket lines in increasing le order, the
 // mandatory le="+Inf" bucket equal to _count, then _sum and _count.
@@ -240,25 +331,7 @@ func WritePromHistogram(w io.Writer, name, help string, snap HistogramSnapshot, 
 	if err := writePromHeader(w, name, help, "histogram"); err != nil {
 		return err
 	}
-	var cum int64
-	for _, b := range snap.Buckets {
-		if b.Upper == math.MaxInt64 {
-			continue // folded into +Inf below
-		}
-		cum += b.Count
-		le := strconv.FormatFloat(float64(b.Upper)*scale, 'g', -1, 64)
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(snap.Sum)*scale)); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
-	return err
+	return writeHistogramSeries(w, name, nil, snap, scale)
 }
 
 // WriteProm renders one Telemetry instance's full exposition: every

@@ -134,6 +134,59 @@ func TestWritePromHistogram(t *testing.T) {
 	}
 }
 
+func TestWritePromHistogramVec(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(1000)
+	var buf bytes.Buffer
+	rows := []HistogramRow{
+		{Labels: [][2]string{{"tenant", "acme"}}, Snap: a.Snapshot()},
+		{Labels: [][2]string{{"tenant", "beta"}}, Snap: b.Snapshot()},
+	}
+	if err := WritePromHistogramVec(&buf, "tsmo_vec_seconds", "help.", rows, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE tsmo_vec_seconds histogram\n"); n != 1 {
+		t.Errorf("want exactly one TYPE header, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`tsmo_vec_seconds_bucket{tenant="acme",le="+Inf"} 2`,
+		`tsmo_vec_seconds_count{tenant="acme"} 2`,
+		`tsmo_vec_seconds_bucket{tenant="beta",le="+Inf"} 1`,
+		`tsmo_vec_seconds_count{tenant="beta"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `tsmo_vec_seconds_sum{tenant="beta"} `) {
+		t.Errorf("missing beta _sum in:\n%s", out)
+	}
+	// Each series' groups must be contiguous: acme's count precedes
+	// beta's first bucket.
+	if strings.Index(out, `_count{tenant="acme"}`) > strings.Index(out, `_bucket{tenant="beta"`) {
+		t.Errorf("per-series groups interleaved:\n%s", out)
+	}
+}
+
+func TestWritePromGaugeVec(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []GaugeRow{
+		{Labels: [][2]string{{"tenant", "acme"}}, V: 2},
+		{Labels: [][2]string{{"tenant", "beta"}}, V: 0},
+	}
+	if err := WritePromGaugeVec(&buf, "tsmo_vec_queued", "help.", rows); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP tsmo_vec_queued help.\n# TYPE tsmo_vec_queued gauge\n" +
+		`tsmo_vec_queued{tenant="acme"} 2` + "\n" + `tsmo_vec_queued{tenant="beta"} 0` + "\n"
+	if buf.String() != want {
+		t.Errorf("gauge vec exposition:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
 func TestWritePromGauge(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePromGauge(&buf, "tsmo_build_info", "Build metadata.",

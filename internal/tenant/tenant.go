@@ -1,0 +1,262 @@
+// Package tenant implements multi-tenant admission control for the
+// solver service: per-tenant identity (static API keys resolved from an
+// Authorization: Bearer header), per-tenant quota policies (queue and
+// concurrency caps, token-bucket rate limits on submissions and
+// mutations, a priority ceiling, a per-job mutation budget), and the
+// fair-share weights the service's deficit-round-robin scheduler
+// dispatches by.
+//
+// Requests without credentials resolve to the anonymous tenant, whose
+// default policy is unlimited — a service without a keyfile behaves
+// exactly like the single-tenant daemon of earlier PRs. All rate limits
+// run on an injectable clock, so tests drive the buckets
+// deterministically with a virtual time source.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Anonymous is the tenant every uncredentialed request belongs to.
+const Anonymous = "anonymous"
+
+// ErrUnauthorized marks a request whose bearer token matches no
+// configured key (HTTP 401). Requests without any credentials are not
+// unauthorized — they are the anonymous tenant.
+var ErrUnauthorized = errors.New("tenant: unknown API key")
+
+// Policy is one tenant's admission contract. Zero values mean
+// "unlimited" for every cap and rate; Weight 0 is normalized to 1.
+type Policy struct {
+	// Name identifies the tenant; it is the scheduler lane name and the
+	// value of the tenant metric label.
+	Name string `json:"name"`
+	// Weight is the fair-share weight: per scheduler round a tenant
+	// with weight w dispatches up to w jobs for every 1 a weight-1
+	// tenant dispatches. Normalized to 1 when <= 0.
+	Weight int `json:"weight,omitempty"`
+	// MaxConcurrent caps the tenant's simultaneously running jobs; its
+	// surplus jobs wait in the lane (never rejected). 0 = unlimited.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxQueued caps the tenant's waiting jobs; submissions beyond it
+	// are rejected with 429. 0 = unlimited.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// SubmitRate and SubmitBurst parameterize the submission token
+	// bucket (tokens per second, bucket size). Rate 0 = unlimited.
+	SubmitRate  float64 `json:"submit_rate,omitempty"`
+	SubmitBurst int     `json:"submit_burst,omitempty"`
+	// MutateRate and MutateBurst parameterize the PATCH /instance
+	// bucket — the mutation-storm shed. Rate 0 = unlimited.
+	MutateRate  float64 `json:"mutate_rate,omitempty"`
+	MutateBurst int     `json:"mutate_burst,omitempty"`
+	// MaxPriority clamps JobSpec.Priority: a tenant cannot ask for a
+	// priority above its ceiling. 0 = every submission runs at 0.
+	MaxPriority int `json:"max_priority,omitempty"`
+	// MutationBudget caps the mutations scheduled onto one job over its
+	// lifetime — the hard backstop behind the mutate bucket. 0 = unlimited.
+	MutationBudget int `json:"mutation_budget,omitempty"`
+}
+
+func (p Policy) normalized() Policy {
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	if p.SubmitRate > 0 && p.SubmitBurst <= 0 {
+		p.SubmitBurst = 1
+	}
+	if p.MutateRate > 0 && p.MutateBurst <= 0 {
+		p.MutateBurst = 1
+	}
+	return p
+}
+
+// ClampPriority returns prio limited to the policy's ceiling (and to
+// >= 0, so a negative request cannot dodge the lane's FIFO order).
+func (p Policy) ClampPriority(prio int) int {
+	if prio < 0 {
+		return 0
+	}
+	if prio > p.MaxPriority {
+		return p.MaxPriority
+	}
+	return prio
+}
+
+// bucket is a token bucket on the registry's clock. Tokens refill
+// continuously at rate per second up to burst; take spends one.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take spends one token when available. When the bucket is empty it
+// reports how long until the next token accrues — the Retry-After hint.
+func (b *bucket) take(now time.Time) (ok bool, retry time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// state is one tenant's live admission state.
+type state struct {
+	policy Policy
+	submit *bucket
+	mutate *bucket
+}
+
+// Registry resolves credentials to tenants and enforces their rate
+// limits. Safe for concurrent use. The zero Registry is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	tenants map[string]*state
+	keys    map[string]string // API key -> tenant name
+}
+
+// NewRegistry returns a registry holding only the anonymous tenant with
+// an unlimited policy. now is the clock the token buckets run on; nil
+// means time.Now. Tests pass a virtual clock for determinism.
+func NewRegistry(now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	r := &Registry{
+		now:     now,
+		tenants: make(map[string]*state),
+		keys:    make(map[string]string),
+	}
+	r.Add(Policy{Name: Anonymous})
+	return r
+}
+
+// Add installs (or replaces) a tenant policy and binds its API keys.
+// Rate-limit buckets start full.
+func (r *Registry) Add(p Policy, keys ...string) {
+	p = p.normalized()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &state{policy: p}
+	now := r.now()
+	if p.SubmitRate > 0 {
+		st.submit = newBucket(p.SubmitRate, p.SubmitBurst, now)
+	}
+	if p.MutateRate > 0 {
+		st.mutate = newBucket(p.MutateRate, p.MutateBurst, now)
+	}
+	r.tenants[p.Name] = st
+	for _, k := range keys {
+		if k != "" {
+			r.keys[k] = p.Name
+		}
+	}
+}
+
+// Resolve maps an Authorization header value to a tenant name. An empty
+// header is the anonymous tenant; a well-formed bearer token matching no
+// key is ErrUnauthorized.
+func (r *Registry) Resolve(authorization string) (string, error) {
+	if authorization == "" {
+		return Anonymous, nil
+	}
+	token := authorization
+	if len(authorization) > 7 && strings.EqualFold(authorization[:7], "bearer ") {
+		token = strings.TrimSpace(authorization[7:])
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name, ok := r.keys[token]
+	if !ok {
+		return "", ErrUnauthorized
+	}
+	return name, nil
+}
+
+// Policy returns the named tenant's policy; unknown names get the
+// anonymous policy (recovery may requeue jobs of a tenant deleted from
+// the keyfile — they still need a lane).
+func (r *Registry) Policy(name string) Policy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.tenants[name]; ok {
+		return st.policy
+	}
+	return r.tenants[Anonymous].policy
+}
+
+// Names lists the configured tenants, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TakeSubmit spends one submission token for the tenant. ok=false comes
+// with the Retry-After hint. Tenants without a submit rate always pass.
+func (r *Registry) TakeSubmit(name string) (ok bool, retry time.Duration) {
+	return r.take(name, func(st *state) *bucket { return st.submit })
+}
+
+// TakeMutate spends one mutation token for the tenant.
+func (r *Registry) TakeMutate(name string) (ok bool, retry time.Duration) {
+	return r.take(name, func(st *state) *bucket { return st.mutate })
+}
+
+func (r *Registry) take(name string, pick func(*state) *bucket) (bool, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok {
+		st = r.tenants[Anonymous]
+	}
+	return pick(st).take(r.now())
+}
+
+// Validate sanity-checks a policy set for configuration mistakes worth
+// failing startup over.
+func Validate(ps []Policy) error {
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if p.Name == "" {
+			return fmt.Errorf("tenant: policy without a name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("tenant: duplicate policy for %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.SubmitRate < 0 || p.MutateRate < 0 || p.Weight < 0 ||
+			p.MaxConcurrent < 0 || p.MaxQueued < 0 || p.MaxPriority < 0 || p.MutationBudget < 0 {
+			return fmt.Errorf("tenant: negative limit in policy %q", p.Name)
+		}
+	}
+	return nil
+}

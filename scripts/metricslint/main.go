@@ -373,23 +373,43 @@ func lint(e *exposition) []string {
 	return findings
 }
 
-// lintHistogram checks one histogram family: bucket counts cumulative and
-// monotone in le order, le="+Inf" present and equal to _count, _sum and
-// _count present.
+// lintHistogram checks one histogram family, per series: samples group
+// by their non-le label set (a family may carry many series — one per
+// tenant, say), and each group independently needs bucket counts
+// cumulative and monotone in le order, le="+Inf" present and equal to
+// its _count, and _sum/_count present. Pooling the whole family would
+// falsely flag a multi-series exposition as out of le order.
 func lintHistogram(f *family) []string {
 	var findings []string
 	type bucket struct {
 		le    float64
 		count float64
 	}
-	var (
-		buckets           []bucket
-		infCount          float64
-		sawInf            bool
-		count, sum        float64
-		sawCount, sawSum  bool
-		bucketOrderBroken bool
-	)
+	type histSeries struct {
+		buckets          []bucket
+		infCount         float64
+		sawInf           bool
+		count, sum       float64
+		sawCount, sawSum bool
+	}
+	groups := map[string]*histSeries{}
+	var order []string
+	group := func(s sample) *histSeries {
+		rest := make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := seriesKey(f.name, rest)
+		g, ok := groups[key]
+		if !ok {
+			g = &histSeries{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
 	for _, s := range f.samples {
 		switch s.name {
 		case f.name + "_bucket":
@@ -398,9 +418,10 @@ func lintHistogram(f *family) []string {
 				findings = append(findings, fmt.Sprintf("histogram %s bucket without le label", f.name))
 				continue
 			}
+			g := group(s)
 			if le == "+Inf" {
-				sawInf = true
-				infCount = s.value
+				g.sawInf = true
+				g.infCount = s.value
 				continue
 			}
 			v, err := strconv.ParseFloat(le, 64)
@@ -408,42 +429,48 @@ func lintHistogram(f *family) []string {
 				findings = append(findings, fmt.Sprintf("histogram %s has unparseable le=%q", f.name, le))
 				continue
 			}
-			buckets = append(buckets, bucket{le: v, count: s.value})
+			g.buckets = append(g.buckets, bucket{le: v, count: s.value})
 		case f.name + "_count":
-			sawCount, count = true, s.value
+			g := group(s)
+			g.sawCount, g.count = true, s.value
 		case f.name + "_sum":
-			sawSum, sum = true, s.value
+			g := group(s)
+			g.sawSum, g.sum = true, s.value
 		default:
 			findings = append(findings, fmt.Sprintf("histogram %s has stray sample %s", f.name, s.name))
 		}
 	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i].le <= buckets[i-1].le {
-			bucketOrderBroken = true
-			findings = append(findings, fmt.Sprintf("histogram %s buckets out of le order (%g after %g)",
-				f.name, buckets[i].le, buckets[i-1].le))
+	for _, key := range order {
+		g := groups[key]
+		bucketOrderBroken := false
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i].le <= g.buckets[i-1].le {
+				bucketOrderBroken = true
+				findings = append(findings, fmt.Sprintf("histogram %s buckets out of le order (%g after %g)",
+					key, g.buckets[i].le, g.buckets[i-1].le))
+			}
+			if g.buckets[i].count < g.buckets[i-1].count {
+				findings = append(findings, fmt.Sprintf("histogram %s cumulative bucket counts decrease at le=%g (%g < %g)",
+					key, g.buckets[i].le, g.buckets[i].count, g.buckets[i-1].count))
+			}
 		}
-		if buckets[i].count < buckets[i-1].count {
-			findings = append(findings, fmt.Sprintf("histogram %s cumulative bucket counts decrease at le=%g (%g < %g)",
-				f.name, buckets[i].le, buckets[i].count, buckets[i-1].count))
+		switch {
+		case !g.sawInf:
+			findings = append(findings, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", key))
+		case !g.sawCount:
+			findings = append(findings, fmt.Sprintf("histogram %s missing _count", key))
+		case g.infCount != g.count:
+			findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g != _count %g", key, g.infCount, g.count))
 		}
-	}
-	switch {
-	case !sawInf:
-		findings = append(findings, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", f.name))
-	case !sawCount:
-		findings = append(findings, fmt.Sprintf("histogram %s missing _count", f.name))
-	case infCount != count:
-		findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g != _count %g", f.name, infCount, count))
-	}
-	if !sawSum {
-		findings = append(findings, fmt.Sprintf("histogram %s missing _sum", f.name))
-	} else if math.IsNaN(sum) {
-		findings = append(findings, fmt.Sprintf("histogram %s _sum is NaN", f.name))
-	}
-	if !bucketOrderBroken && len(buckets) > 0 && sawInf && infCount < buckets[len(buckets)-1].count {
-		findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g below last finite bucket %g",
-			f.name, infCount, buckets[len(buckets)-1].count))
+		if !g.sawSum {
+			findings = append(findings, fmt.Sprintf("histogram %s missing _sum", key))
+		} else if math.IsNaN(g.sum) {
+			findings = append(findings, fmt.Sprintf("histogram %s _sum is NaN", key))
+		}
+		if !bucketOrderBroken && len(g.buckets) > 0 && g.sawInf && g.infCount < g.buckets[len(g.buckets)-1].count {
+			findings = append(findings, fmt.Sprintf("histogram %s le=\"+Inf\" bucket %g below last finite bucket %g",
+				key, g.infCount, g.buckets[len(g.buckets)-1].count))
+		}
 	}
 	return findings
 }

@@ -87,6 +87,43 @@ func TestLintCatches(t *testing.T) {
 	}
 }
 
+// TestLintHistogramVec pins the per-series grouping: a histogram family
+// carrying one bucket/sum/count group per tenant label is clean (pooling
+// them would falsely trip the le-order rule), while a defect inside one
+// tenant's group is still caught and attributed to that series.
+func TestLintHistogramVec(t *testing.T) {
+	vec := `# HELP h queue wait by tenant.
+# TYPE h histogram
+h_bucket{tenant="acme",le="0.5"} 1
+h_bucket{tenant="acme",le="1"} 2
+h_bucket{tenant="acme",le="+Inf"} 3
+h_sum{tenant="acme"} 2.5
+h_count{tenant="acme"} 3
+h_bucket{tenant="beta",le="0.5"} 4
+h_bucket{tenant="beta",le="1"} 4
+h_bucket{tenant="beta",le="+Inf"} 5
+h_sum{tenant="beta"} 3
+h_count{tenant="beta"} 5
+`
+	if findings := lint(mustParse(t, vec)); len(findings) != 0 {
+		t.Fatalf("clean per-tenant histogram produced findings: %v", findings)
+	}
+	broken := strings.Replace(vec, `h_bucket{tenant="beta",le="1"} 4`, `h_bucket{tenant="beta",le="1"} 2`, 1)
+	findings := lint(mustParse(t, broken))
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "counts decrease") && strings.Contains(f, `tenant="beta"`) {
+			found = true
+		}
+		if strings.Contains(f, `tenant="acme"`) {
+			t.Fatalf("defect in beta's series attributed to acme: %v", findings)
+		}
+	}
+	if !found {
+		t.Fatalf("per-series bucket regression not flagged: %v", findings)
+	}
+}
+
 func TestLintMonotoneAcrossScrapes(t *testing.T) {
 	a := mustParse(t, cleanExpo)
 	b := mustParse(t, strings.Replace(cleanExpo, "tsmod_jobs_submitted_total 3", "tsmod_jobs_submitted_total 2", 1))
